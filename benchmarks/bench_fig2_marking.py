@@ -1,0 +1,70 @@
+"""FIG2 — Figure 2: the marking state machine.
+
+Regenerates the transition table (five legal edges, ten illegal pairs) and
+benchmarks transition firing at the rate a busy site would sustain.
+"""
+
+import pytest
+
+from repro.core import Marking, MarkingEvent, MarkingStateMachine
+from repro.core.marking import TRANSITIONS
+from repro.errors import ProtocolViolation
+from repro.harness import ExperimentResult, format_table
+
+
+def test_fig2_transition_table():
+    rows = []
+    for state in Marking:
+        for event in MarkingEvent:
+            target = TRANSITIONS.get((state, event))
+            rows.append(ExperimentResult(
+                params={"from": state.value, "event": event.value},
+                measures={"to": target.value if target else "(illegal)"},
+            ))
+    print()
+    print(format_table(rows, title="FIG2: marking transitions"))
+    legal = [r for r in rows if r.measures["to"] != "(illegal)"]
+    assert len(legal) == 5
+
+
+def test_fig2_machine_agrees_with_table():
+    for state, event in [
+        (s, e) for s in Marking for e in MarkingEvent
+    ]:
+        machine = MarkingStateMachine("S1")
+        if state is Marking.LOCALLY_COMMITTED:
+            machine.fire("T1", MarkingEvent.VOTE_COMMIT)
+        elif state is Marking.UNDONE:
+            machine.fire("T1", MarkingEvent.VOTE_ABORT)
+        expected = TRANSITIONS.get((state, event))
+        if expected is None:
+            with pytest.raises(ProtocolViolation):
+                machine.fire("T1", event)
+        else:
+            assert machine.fire("T1", event) is expected
+
+
+def test_bench_marking_transitions(benchmark):
+    """One full commit cycle + one full abort/UDUM cycle per transaction."""
+
+    def churn():
+        machine = MarkingStateMachine("S1")
+        for i in range(500):
+            txn = f"T{i}"
+            machine.fire(txn, MarkingEvent.VOTE_COMMIT)
+            machine.fire(txn, MarkingEvent.DECISION_COMMIT)
+            machine.fire(txn, MarkingEvent.VOTE_COMMIT)
+            machine.fire(txn, MarkingEvent.DECISION_ABORT)
+            machine.fire(txn, MarkingEvent.UDUM)
+        return machine
+
+    machine = benchmark(churn)
+    assert machine.undone_set() == set()
+
+
+def test_bench_undone_set_snapshot(benchmark):
+    machine = MarkingStateMachine("S1")
+    for i in range(1000):
+        machine.fire(f"T{i}", MarkingEvent.VOTE_ABORT)
+    result = benchmark(machine.undone_set)
+    assert len(result) == 1000

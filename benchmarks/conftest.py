@@ -1,0 +1,13 @@
+"""Shared benchmark helpers.
+
+Every benchmark prints the experiment table it regenerates (run with
+``pytest benchmarks/ --benchmark-only -s`` to see them); the numbers are
+recorded in EXPERIMENTS.md.
+"""
+
+import sys
+from pathlib import Path
+
+_SRC = str(Path(__file__).parent.parent / "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)

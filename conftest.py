@@ -1,0 +1,13 @@
+"""Repo-level pytest configuration.
+
+Makes ``import repro`` work from a source checkout even when the package has
+not been pip-installed (offline environments without the ``wheel`` package
+cannot build PEP-660 editable installs).
+"""
+
+import sys
+from pathlib import Path
+
+_SRC = str(Path(__file__).parent / "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)

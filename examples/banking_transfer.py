@@ -1,0 +1,66 @@
+#!/usr/bin/env python3
+"""Inter-bank funds transfers: semantic atomicity conserves money.
+
+A classic restricted-model workload: transfers decompose into a
+``withdraw`` at one bank and a ``deposit`` at another, each with its
+predeclared counter-operation.  Even when transfers abort mid-flight —
+after the withdrawing bank has already locally committed and released its
+locks — the compensating ``deposit`` restores the balance, so the total
+money in the system is invariant.
+
+The example also contrasts O2PC with the 2PL baseline on the same workload:
+identical final balances, very different lock-hold profiles.
+
+Run:  python3 examples/banking_transfer.py
+"""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent.parent / "src"))
+
+from repro.commit import CommitScheme
+from repro.harness import System, SystemConfig, collect_metrics
+from repro.workload import banking_transfers
+
+
+def total_money(system: System) -> int:
+    return sum(
+        value
+        for site in system.sites.values()
+        for value in site.store.snapshot().values()
+        if isinstance(value, int)
+    )
+
+
+def run(scheme: CommitScheme) -> None:
+    system = System(SystemConfig(n_sites=3, scheme=scheme, protocol="P1"))
+    before = total_money(system)
+    specs = banking_transfers(
+        sorted(system.sites), n_transfers=30, abort_probability=0.25, seed=7,
+    )
+    system.submit_stream(specs, arrival_mean=3.0)
+    system.env.run()
+    after = total_money(system)
+
+    report = collect_metrics(system)
+    print(f"\n=== {scheme.value} ===")
+    print(f"transfers: {report.committed} committed, {report.aborted} aborted")
+    print(f"compensations: {report.compensations}")
+    print(f"total money before: {before}, after: {after} "
+          f"({'conserved' if before == after else 'LOST!'})")
+    print(f"mean lock-hold: {report.mean_lock_hold:.2f}  "
+          f"mean latency: {report.mean_latency:.1f}")
+    assert before == after, "semantic atomicity must conserve money"
+    system.check_correctness()
+
+
+def main() -> None:
+    print("30 inter-bank transfers, 25% refused by the receiving bank")
+    run(CommitScheme.O2PC)
+    run(CommitScheme.TWO_PL)
+    print("\nSame balances either way; O2PC holds locks for less time.")
+
+
+if __name__ == "__main__":
+    main()

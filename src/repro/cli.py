@@ -1,0 +1,297 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``demo`` — a narrated end-to-end run (commit, abort + compensation,
+  correctness check);
+* ``drill`` — the coordinator-failure drill with lock timelines for both
+  schemes (the paper's blocking problem, visually);
+* ``sweep`` — the abort-probability sweep (CLAIM-THRU's table) from the
+  command line, with configurable sizes;
+* ``audit`` — the adversarial interleaving that forms a regular cycle,
+  under a chosen protocol, with the marking audit trail.
+
+Everything is deterministic for a given ``--seed``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.commit import CommitScheme
+from repro.harness import (
+    ExperimentResult,
+    System,
+    SystemConfig,
+    collect_metrics,
+    format_table,
+    lock_gantt,
+    marking_audit,
+    transaction_timeline,
+)
+from repro.net.failures import CrashPlan
+from repro.sg import explain_cycle, find_regular_cycle, render_explanation
+from repro.txn import GlobalTxnSpec, ReadOp, SemanticOp, SubtxnSpec, VotePolicy
+from repro.workload import WorkloadConfig, WorkloadGenerator
+
+
+def cmd_demo(args: argparse.Namespace) -> int:
+    """Narrated end-to-end run: commit, refused transfer, criterion check."""
+    system = System(SystemConfig(
+        n_sites=3, scheme=CommitScheme.O2PC, protocol=args.protocol,
+        seed=args.seed,
+    ))
+    print("== O2PC demo:", ", ".join(sorted(system.sites)), "==")
+    ok = system.run_transaction(GlobalTxnSpec(txn_id="T1", subtxns=[
+        SubtxnSpec("S1", [SemanticOp("withdraw", "k0", {"amount": 30})]),
+        SubtxnSpec("S2", [SemanticOp("deposit", "k0", {"amount": 30})]),
+    ]))
+    print(f"T1 transfer: {'COMMIT' if ok.committed else 'ABORT'} "
+          f"in {ok.latency:.1f}u; S1.k0={system.sites['S1'].store.get('k0')} "
+          f"S2.k0={system.sites['S2'].store.get('k0')}")
+    bad = system.run_transaction(GlobalTxnSpec(txn_id="T2", subtxns=[
+        SubtxnSpec("S1", [SemanticOp("withdraw", "k0", {"amount": 50})]),
+        SubtxnSpec("S3", [SemanticOp("deposit", "k0", {"amount": 50})],
+                   vote=VotePolicy.FORCE_NO),
+    ]))
+    system.env.run()
+    print(f"T2 refused transfer: {'COMMIT' if bad.committed else 'ABORT'}; "
+          f"compensated at {bad.compensated_sites}; "
+          f"S1.k0={system.sites['S1'].store.get('k0')} (restored)")
+    system.check_correctness()
+    print("correctness criterion: OK")
+    print()
+    print(transaction_timeline(system))
+    return 0
+
+
+def cmd_drill(args: argparse.Namespace) -> int:
+    """Coordinator-crash drill with lock timelines for both schemes."""
+    for scheme in (CommitScheme.TWO_PL, CommitScheme.O2PC):
+        system = System(SystemConfig(scheme=scheme, seed=args.seed))
+        proc = system.submit(GlobalTxnSpec(txn_id="T1", subtxns=[
+            SubtxnSpec("S1", [SemanticOp("withdraw", "k0", {"amount": 10})]),
+            SubtxnSpec("S2", [SemanticOp("deposit", "k0", {"amount": 10})]),
+        ]))
+        system.failures.schedule(
+            CrashPlan(site_id="coord.T1", at=6.2, duration=args.outage)
+        )
+        outcome = system.env.run(proc)
+        system.env.run()
+        print(f"== {scheme.value}: coordinator down for {args.outage:.0f}u ==")
+        print(f"T1 {'COMMIT' if outcome.committed else 'ABORT'} "
+              f"at t={outcome.end_time:.1f}")
+        print(lock_gantt(system, "S1"))
+        print()
+    print("2PL bars span the outage; O2PC bars end at the vote.")
+    return 0
+
+
+def cmd_sweep(args: argparse.Namespace) -> int:
+    """Abort-probability sweep: throughput and lock-wait, 2PL vs O2PC."""
+    rows = []
+    for p in (0.0, 0.1, 0.25, 0.5):
+        measures: dict[str, float] = {}
+        for scheme in (CommitScheme.TWO_PL, CommitScheme.O2PC):
+            system = System(SystemConfig(
+                scheme=scheme, n_sites=args.sites, keys_per_site=8,
+                seed=args.seed,
+            ))
+            gen = WorkloadGenerator(system, WorkloadConfig(
+                n_transactions=args.transactions, abort_probability=p,
+                read_fraction=0.4, arrival_mean=2.0, zipf_theta=0.6,
+            ), seed=args.seed)
+            elapsed = gen.run()
+            report = collect_metrics(system, elapsed)
+            tag = "2pl" if scheme is CommitScheme.TWO_PL else "o2pc"
+            measures[f"thru_{tag}"] = report.throughput
+            measures[f"wait_{tag}"] = report.total_lock_wait
+            if scheme is CommitScheme.O2PC:
+                measures["compensations"] = report.compensations
+        rows.append(ExperimentResult(params={"abort_p": p}, measures=measures))
+    print(format_table(
+        rows, title="throughput / lock-wait vs abort probability",
+    ))
+    return 0
+
+
+def cmd_audit(args: argparse.Namespace) -> int:
+    """Adversarial interleaving: show (or show prevented) a regular cycle."""
+    system = System(SystemConfig(
+        scheme=CommitScheme.O2PC, protocol=args.protocol, n_sites=2,
+        seed=args.seed,
+    ))
+    system.submit(GlobalTxnSpec(txn_id="T1", subtxns=[
+        SubtxnSpec("S1", [SemanticOp("set", "k0", {"value": "dirty"})]),
+        SubtxnSpec("S2", [SemanticOp("set", "k0", {"value": "dirty"})],
+                   vote=VotePolicy.FORCE_NO),
+    ]))
+
+    def submit_t2():
+        yield system.env.timeout(4.2)
+        yield system.submit(GlobalTxnSpec(txn_id="T2", subtxns=[
+            SubtxnSpec("S2", [ReadOp("k0")]),
+            SubtxnSpec("S1", [ReadOp("k0")]),
+        ]))
+
+    system.env.process(submit_t2())
+    system.env.run()
+    cycle = find_regular_cycle(
+        system.global_sg(), system.effective_regular_nodes()
+    )
+    print(f"protocol={args.protocol}")
+    print(transaction_timeline(system))
+    print()
+    if cycle:
+        print("regular cycle:", " -> ".join(cycle), "(history INCORRECT)")
+        print(render_explanation(explain_cycle(
+            system.global_sg(), cycle, system.global_history(),
+        )))
+    else:
+        print("no regular cycle (criterion holds)")
+    print()
+    print(marking_audit(system))
+    return 0
+
+
+def cmd_report(args: argparse.Namespace) -> int:
+    """Regenerate the quick experiment set and write a markdown report.
+
+    Writes ``report.md`` plus one JSON file per experiment into ``--out``
+    (created if missing).  A lighter-weight alternative to
+    ``pytest benchmarks/ -s`` when only the artifact files are wanted.
+    """
+    import os
+
+    from repro.harness.experiment import save_results, to_markdown
+    from repro.net.network import LatencyModel
+
+    os.makedirs(args.out, exist_ok=True)
+    sections: list[str] = ["# O2PC experiment report", ""]
+
+    def emit(name: str, title: str, rows: list[ExperimentResult]) -> None:
+        save_results(rows, os.path.join(args.out, f"{name}.json"))
+        sections.append(to_markdown(rows, title=title))
+        sections.append("")
+        print(f"  wrote {name} ({len(rows)} rows)")
+
+    # CLAIM-LOCK (compact)
+    rows = []
+    for base in (0.5, 1.0, 2.0):
+        measures: dict[str, float] = {}
+        for scheme in (CommitScheme.TWO_PL, CommitScheme.O2PC):
+            system = System(SystemConfig(
+                scheme=scheme, n_sites=4, keys_per_site=100,
+                latency=LatencyModel(base=base), seed=args.seed,
+            ))
+            gen = WorkloadGenerator(system, WorkloadConfig(
+                n_transactions=40, read_fraction=0.3,
+                arrival_mean=4.0 * base,
+            ), seed=args.seed)
+            elapsed = gen.run()
+            report = collect_metrics(system, elapsed)
+            tag = "2pl" if scheme is CommitScheme.TWO_PL else "o2pc"
+            measures[f"hold_{tag}"] = report.mean_lock_hold
+        measures["gap"] = measures["hold_2pl"] - measures["hold_o2pc"]
+        rows.append(ExperimentResult(params={"latency": base},
+                                     measures=measures))
+    emit("claim_lock", "CLAIM-LOCK: mean lock-hold vs latency", rows)
+
+    # CLAIM-BLOCK (compact)
+    rows = []
+    for outage in (25.0, 100.0):
+        measures = {}
+        for scheme in (CommitScheme.TWO_PL, CommitScheme.O2PC):
+            system = System(SystemConfig(scheme=scheme, seed=args.seed))
+            proc = system.submit(GlobalTxnSpec(txn_id="T1", subtxns=[
+                SubtxnSpec("S1", [SemanticOp("withdraw", "k0",
+                                             {"amount": 1})]),
+                SubtxnSpec("S2", [SemanticOp("deposit", "k0",
+                                             {"amount": 1})]),
+            ]))
+            system.failures.schedule(
+                CrashPlan(site_id="coord.T1", at=6.2, duration=outage)
+            )
+            system.env.run(proc)
+            system.env.run()
+            tag = "2pl" if scheme is CommitScheme.TWO_PL else "o2pc"
+            measures[f"max_hold_{tag}"] = max(
+                h.duration for s in system.sites.values()
+                for h in s.locks.hold_log
+            )
+        rows.append(ExperimentResult(params={"outage": outage},
+                                     measures=measures))
+    emit("claim_block", "CLAIM-BLOCK: max lock-hold vs outage", rows)
+
+    # CLAIM-MSG (compact)
+    rows = []
+    for label, scheme, protocol in (
+        ("2PC/2PL", CommitScheme.TWO_PL, "none"),
+        ("O2PC", CommitScheme.O2PC, "none"),
+        ("O2PC/P1", CommitScheme.O2PC, "P1"),
+    ):
+        system = System(SystemConfig(
+            scheme=scheme, protocol=protocol, n_sites=3,
+            keys_per_site=100, seed=args.seed,
+        ))
+        gen = WorkloadGenerator(system, WorkloadConfig(
+            n_transactions=20, arrival_mean=6.0, read_fraction=1.0,
+        ), seed=args.seed)
+        gen.run()
+        rows.append(ExperimentResult(
+            params={"scheme": label},
+            measures=dict(system.network.counts_by_type()),
+        ))
+    emit("claim_msg", "CLAIM-MSG: wire messages by scheme", rows)
+
+    path = os.path.join(args.out, "report.md")
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write("\n".join(sections))
+    print(f"report: {path}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The repro CLI argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="O2PC reproduction (Levy, Korth & Silberschatz, "
+                    "SIGMOD 1991)",
+    )
+    parser.add_argument("--seed", type=int, default=0)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    demo = sub.add_parser("demo", help="narrated end-to-end run")
+    demo.add_argument("--protocol", default="P1",
+                      choices=["none", "saga", "P1", "P2", "SIMPLE"])
+    demo.set_defaults(fn=cmd_demo)
+
+    drill = sub.add_parser("drill", help="coordinator-failure drill")
+    drill.add_argument("--outage", type=float, default=100.0)
+    drill.set_defaults(fn=cmd_drill)
+
+    sweep = sub.add_parser("sweep", help="abort-probability sweep")
+    sweep.add_argument("--transactions", type=int, default=60)
+    sweep.add_argument("--sites", type=int, default=4)
+    sweep.set_defaults(fn=cmd_sweep)
+
+    report = sub.add_parser("report", help="write experiment artifacts")
+    report.add_argument("--out", default="results")
+    report.set_defaults(fn=cmd_report)
+
+    audit = sub.add_parser("audit", help="regular-cycle audit")
+    audit.add_argument("--protocol", default="none",
+                       choices=["none", "saga", "P1", "P2", "SIMPLE"])
+    audit.set_defaults(fn=cmd_audit)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

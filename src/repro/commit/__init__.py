@@ -1,0 +1,28 @@
+"""Commit protocols: standard 2PC over distributed 2PL, and O2PC.
+
+The two schemes share the message flow (SUBTXN_REQ/ACK, VOTE_REQ, VOTE,
+DECISION, ACK — O2PC adds **nothing**); they differ only in what a
+participant does when it votes YES:
+
+* :data:`~repro.commit.base.CommitScheme.TWO_PL` — the participant enters
+  the prepared state and **holds all locks** until the decision arrives
+  (strict distributed 2PL; blocking);
+* :data:`~repro.commit.base.CommitScheme.O2PC` — the participant *locally
+  commits*: it force-logs, releases every lock at once, and compensates
+  later if the decision turns out to be ABORT (Section 2).
+
+:class:`~repro.commit.coordinator.Coordinator` drives one global transaction
+end to end; :class:`~repro.commit.participant.Participant` is the per-site
+message loop.
+"""
+
+from repro.commit.base import CommitConfig, CommitScheme
+from repro.commit.coordinator import Coordinator
+from repro.commit.participant import Participant
+
+__all__ = [
+    "CommitConfig",
+    "CommitScheme",
+    "Coordinator",
+    "Participant",
+]

@@ -1,0 +1,47 @@
+"""Shared commit-protocol types and configuration."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class CommitScheme(enum.Enum):
+    """Which commit protocol participants run."""
+
+    #: standard 2PC + strict distributed 2PL (locks held until decision)
+    TWO_PL = "2PL"
+    #: optimistic 2PC (locks released at YES vote; compensation on abort)
+    O2PC = "O2PC"
+
+
+@dataclass
+class CommitConfig:
+    """Timeouts and retry policy for coordinators.
+
+    Times are in simulation units; with the default
+    :class:`~repro.net.network.LatencyModel` one unit is one message hop.
+    """
+
+    #: how long to wait for each SUBTXN_ACK before giving up
+    spawn_timeout: float = 200.0
+    #: delay before retrying a retriable R1 rejection
+    spawn_retry_delay: float = 5.0
+    #: maximum R1 retries per subtransaction before aborting the global txn
+    max_spawn_retries: int = 10
+    #: how long to wait for votes; missing votes count as NO
+    vote_timeout: float = 200.0
+    #: how long to wait for decision ACKs per round; missing ACKs are
+    #: tolerated after the last round
+    ack_timeout: float = 200.0
+    #: additional DECISION (re)transmission rounds for sites whose ACK is
+    #: missing — the coordinator side of the 2PC termination protocol (a
+    #: crashed participant learns the outcome after recovering)
+    decision_retries: int = 2
+    #: time to force-write the decision record before sending DECISION —
+    #: the real window in which a coordinator crash leaves 2PC participants
+    #: blocked in the prepared state
+    decision_log_delay: float = 0.5
+    #: spawn subtransactions one at a time (required for faithful R1
+    #: transmark accumulation) or all at once
+    sequential_spawn: bool = True

@@ -1,0 +1,365 @@
+"""The participant: one site's side of 2PC / O2PC.
+
+A participant runs a dispatch loop over its site's network inbox and spawns
+a handler process per message, so a subtransaction blocked on a lock never
+delays the processing of later messages (vote requests for other
+transactions, decisions, ...).
+
+Handler behavior per message type:
+
+``SUBTXN_REQ``
+    Rule R1 (when a marking protocol is active): check
+    ``compatible(transmarks.j, sitemarks.k)``; reject with the retriable
+    flag on failure.  Otherwise execute the operations under strict 2PL.
+    Deadlock victimization rolls the subtransaction back and reports
+    execution failure.  Success reports the site's marks for the
+    coordinator to merge (R1's ``transmarks.j ∪ sitemarks.k``).
+
+``VOTE_REQ``
+    Re-validate the final ``transmarks.j`` (the paper's "check validated
+    again as the last action" — piggybacked here so it costs no message).
+    Vote NO (and roll back, which is the degenerate ``CT_ik``) if the spec
+    forces it or validation fails.  Vote YES otherwise: under O2PC the site
+    *locally commits* — force-logs and releases every lock at once; under
+    2PL (or for a ``real_action`` subtransaction under O2PC, Section 2's
+    non-compensatable case) it merely prepares and keeps its locks.
+
+``DECISION``
+    COMMIT: finalize (2PL participants release locks now).
+    ABORT: roll back if still holding locks; run the compensating
+    subtransaction if locally committed (rule R2 applies the undone mark
+    after ``CT_ik`` completes).  Always ACK.
+
+Unilateral abort (the autonomy property, Section 1): :meth:`unilateral_abort`
+lets the site kill a subtransaction any time before it votes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from repro.commit.base import CommitScheme
+from repro.compensation.executor import CompensationExecutor
+from repro.core.protocols import MarkingProtocol, NoProtocol
+from repro.errors import DeadlockDetected, LockTimeout, TransactionAborted
+from repro.net.message import Message, MsgType
+from repro.net.network import Network
+from repro.txn.operations import Op
+from repro.txn.site import Site
+from repro.txn.transaction import TxnStatus, VotePolicy
+
+
+@dataclass
+class _SubtxnState:
+    """Participant-side state of one subtransaction."""
+
+    txn_id: str
+    ops: list[Op]
+    vote_policy: VotePolicy
+    real_action: bool
+    executed: bool = False
+    voted: str | None = None
+    decided: str | None = None
+    compensated: bool = False
+    #: reconstructed from the log after a crash (in-doubt path)
+    recovered: bool = False
+
+
+class Participant:
+    """One site's protocol engine."""
+
+    def __init__(
+        self,
+        site: Site,
+        network: Network,
+        scheme: CommitScheme = CommitScheme.O2PC,
+        marking: MarkingProtocol | None = None,
+        compensation_retry_delay: float = 1.0,
+        lock_marks: bool = False,
+    ) -> None:
+        self.site = site
+        self.env = site.env
+        self.network = network
+        self.scheme = scheme
+        self.marking = marking or NoProtocol()
+        #: store the marking set as a lockable database item (Section 6.2's
+        #: first option): the R1 check read-locks it, and the compensating
+        #: subtransaction writes it as its last action — the configuration
+        #: that exhibits the marking-set deadlock the paper remarks on.
+        #: False (default) models the "acceptable compromise": check first,
+        #: unlock immediately, re-validate at vote time.
+        self.lock_marks = lock_marks
+        self.compensator = CompensationExecutor(
+            site, retry_delay=compensation_retry_delay,
+            lock_marks=lock_marks,
+        )
+        self.subtxns: dict[str, _SubtxnState] = {}
+        network.register(site.site_id)
+        self._dispatcher = self.env.process(
+            self._dispatch(), name=f"participant:{site.site_id}"
+        )
+
+    # -- dispatch loop ------------------------------------------------------------
+
+    def _dispatch(self):
+        while True:
+            msg = yield self.network.receive(self.site.site_id)
+            handler = {
+                MsgType.SUBTXN_REQ: self._handle_subtxn,
+                MsgType.VOTE_REQ: self._handle_vote_req,
+                MsgType.DECISION: self._handle_decision,
+            }.get(msg.msg_type)
+            if handler is None:
+                continue
+            self.env.process(
+                handler(msg),
+                name=f"{self.site.site_id}:{msg.msg_type.value}:{msg.txn_id}",
+            )
+
+    # -- SUBTXN_REQ ----------------------------------------------------------------
+
+    def _handle_subtxn(self, msg: Message):
+        txn_id = msg.txn_id
+        payload = msg.payload
+        transmarks: set[str] = set(payload.get("transmarks", ()))
+
+        check = self.marking.check_spawn(txn_id, self.site.site_id, transmarks)
+        if not check.ok:
+            self._reply(msg, MsgType.SUBTXN_ACK, {
+                "executed": False,
+                "rejected": True,
+                "retriable": check.retriable,
+                "reason": check.reason,
+            })
+            return
+
+        state = _SubtxnState(
+            txn_id=txn_id,
+            ops=list(payload["ops"]),
+            vote_policy=payload.get("vote", VotePolicy.AUTO),
+            real_action=payload.get("real_action", False),
+        )
+        self.subtxns[txn_id] = state
+
+        self.site.ltm.begin(txn_id)
+        try:
+            if self.lock_marks and not isinstance(self.marking, NoProtocol):
+                # The R1 check reads the marking set under a real S lock
+                # held, like any data access, until the transaction's locks
+                # are released (strict 2PL).
+                from repro.core.marks import MARKS_KEY
+                from repro.locking.modes import LockMode
+
+                yield self.site.locks.acquire(txn_id, MARKS_KEY, LockMode.S)
+                self.site.history.read(txn_id, MARKS_KEY)
+            yield from self.site.ltm.run_ops(txn_id, state.ops)
+        except (DeadlockDetected, LockTimeout) as exc:
+            ct_id = self.site.ltm.rollback_subtxn(txn_id)
+            self.marking.on_vote_abort(txn_id, self.site.site_id)
+            self._reply(msg, MsgType.SUBTXN_ACK, {
+                "executed": False,
+                "rejected": False,
+                "retriable": False,
+                "reason": type(exc).__name__,
+                "ct_id": ct_id,
+            })
+            return
+        except TransactionAborted:
+            # An abort decision arrived while we were blocked on a lock:
+            # the decision handler already rolled the subtransaction back;
+            # just report execution failure (the coordinator has moved on).
+            self._reply(msg, MsgType.SUBTXN_ACK, {
+                "executed": False,
+                "rejected": False,
+                "retriable": False,
+                "reason": "aborted while blocked",
+            })
+            return
+
+        state.executed = True
+        # Witness recording for UDUM1 (rule R3 fires inside when enabled).
+        self.marking.on_executed(txn_id, self.site.site_id)
+        self._reply(msg, MsgType.SUBTXN_ACK, {
+            "executed": True,
+            "rejected": False,
+            "marks": sorted(
+                self.marking.merge_marks(txn_id, self.site.site_id, transmarks)
+            ),
+        })
+
+    # -- VOTE_REQ ---------------------------------------------------------------------
+
+    def _handle_vote_req(self, msg: Message):
+        txn_id = msg.txn_id
+        state = self.subtxns.get(txn_id)
+        transmarks: set[str] = set(msg.payload.get("transmarks", ()))
+
+        if (
+            self.lock_marks
+            and self.site.marks_key
+            and state is not None
+            and state.executed
+            and self.site.ltm.is_active(txn_id)
+        ):
+            # With locked marking sets, the validation re-read is "the last
+            # action of the subtransaction": a recorded history operation
+            # whose conflict with compensations' marking writes orders this
+            # transaction against them (Lemma 5's mechanism).  The S lock
+            # taken at spawn is still held, so the order is 2PL-consistent.
+            self.site.history.read(txn_id, self.site.marks_key)
+
+        can_commit = (
+            state is not None
+            and state.executed
+            and self.site.ltm.is_active(txn_id)
+            and state.vote_policy is not VotePolicy.FORCE_NO
+            and self.marking.validate_at_vote(
+                txn_id, self.site.site_id, transmarks
+            )
+        )
+
+        if not can_commit:
+            if state is not None and self.site.ltm.is_active(txn_id):
+                self.site.ltm.rollback_subtxn(txn_id)
+                self.marking.on_vote_abort(txn_id, self.site.site_id)
+            if state is not None:
+                state.voted = "NO"
+            self._reply(msg, MsgType.VOTE, {"vote": "NO"})
+            return
+
+        assert state is not None
+        if self.scheme is CommitScheme.O2PC and not state.real_action:
+            # The O2PC move: locally commit, release every lock at once.
+            self.site.ltm.local_commit(txn_id)
+        else:
+            # Distributed 2PL (or a real-action site): prepare, hold locks.
+            self.site.ltm.prepare(txn_id)
+        if self.scheme is CommitScheme.O2PC:
+            self.marking.on_vote_commit(txn_id, self.site.site_id)
+        state.voted = "YES"
+        self._reply(msg, MsgType.VOTE, {"vote": "YES"})
+        return
+        yield  # pragma: no cover - make this handler a generator
+
+    # -- DECISION --------------------------------------------------------------------
+
+    def _handle_decision(self, msg: Message):
+        txn_id = msg.txn_id
+        decision = msg.payload["decision"]
+        state = self.subtxns.get(txn_id)
+        if state is None or state.decided is not None:
+            # Duplicate decision (coordinator retransmission): just ACK.
+            self._reply(msg, MsgType.ACK, {"compensated": False})
+            return
+        state.decided = decision
+        status = self.site.ltm.status.get(txn_id)
+
+        if decision == "COMMIT":
+            if state.recovered and status is TxnStatus.PREPARED:
+                # The crash wiped the volatile updates: redo from the log.
+                self.site.ltm.commit_recovered(txn_id)
+            else:
+                self.site.ltm.complete_commit(txn_id)
+            if self.scheme is CommitScheme.O2PC:
+                self.marking.on_decision_commit(txn_id, self.site.site_id)
+            self._reply(msg, MsgType.ACK, {"compensated": False})
+            return
+
+        # ABORT decision.
+        if state.recovered and status is TxnStatus.PREPARED:
+            self.site.ltm.abort_recovered(txn_id)
+            self._reply(msg, MsgType.ACK, {"compensated": False})
+            return
+        if status is TxnStatus.LOCALLY_COMMITTED:
+            # Updates are exposed: semantic undo via the compensating
+            # subtransaction, scheduled as a local transaction.
+            yield from self.compensator.run(txn_id)
+            state.compensated = True
+            self.marking.on_decision_abort_compensated(
+                txn_id, self.site.site_id
+            )
+        elif status in (TxnStatus.ACTIVE, TxnStatus.PREPARED):
+            # Locks still held: standard roll-back (the degenerate CT_ik).
+            self.site.ltm.rollback_subtxn(txn_id)
+            if self.scheme is CommitScheme.O2PC:
+                if state.voted == "YES":
+                    # A prepared real-action site: it was marked
+                    # locally-committed at vote time.
+                    self.marking.on_decision_abort_compensated(
+                        txn_id, self.site.site_id
+                    )
+                else:
+                    self.marking.on_vote_abort(txn_id, self.site.site_id)
+        self._reply(msg, MsgType.ACK, {"compensated": state.compensated})
+
+    # -- crash / recovery -----------------------------------------------------------------
+
+    def crash(self) -> None:
+        """The site crashed: volatile state is gone.
+
+        The network already drops this site's messages; protocol state
+        (``subtxns``) is wiped along with the site's store and lock table.
+        The write-ahead log survives and drives :meth:`recover`.
+        """
+        self.site.crash()
+        self.subtxns.clear()
+
+    def recover(self):
+        """Restart the site from its log (generator; run in a process).
+
+        Rebuilds protocol state for every transaction the log says is
+        unresolved:
+
+        * *in-doubt* (prepared under 2PL, no decision): re-acquire its
+          write locks and wait for the coordinator's (re)transmitted
+          decision — the blocking the paper's introduction decries;
+        * *locally committed* (O2PC): its updates were redone by restart
+          recovery (local commitment exposed them); await the decision and
+          compensate on ABORT exactly as if the crash never happened.
+        """
+        report = self.site.restart()
+        for txn_id in report.in_doubt:
+            state = _SubtxnState(
+                txn_id=txn_id, ops=[], vote_policy=VotePolicy.AUTO,
+                real_action=False, executed=True, voted="YES",
+                recovered=True,
+            )
+            self.subtxns[txn_id] = state
+            yield from self.site.ltm.recover_in_doubt(txn_id)
+        for txn_id in report.locally_committed:
+            state = _SubtxnState(
+                txn_id=txn_id, ops=[], vote_policy=VotePolicy.AUTO,
+                real_action=False, executed=True, voted="YES",
+            )
+            self.subtxns[txn_id] = state
+            self.site.ltm.recover_locally_committed(txn_id)
+        return report
+
+    # -- autonomy ------------------------------------------------------------------------
+
+    def unilateral_abort(self, txn_id: str) -> bool:
+        """Locally abort a subtransaction before it votes (site autonomy).
+
+        Returns True if the abort took effect; False when the transaction
+        already voted or terminated here (O2PC: after the YES vote the
+        outcome is the coordinator's to decide — but the site regains
+        control of its resources immediately, which is the point).
+        """
+        state = self.subtxns.get(txn_id)
+        if state is None or state.voted is not None:
+            return False
+        if not self.site.ltm.is_active(txn_id):
+            return False
+        self.site.ltm.rollback_subtxn(txn_id)
+        if self.scheme is CommitScheme.O2PC:
+            self.marking.on_vote_abort(txn_id, self.site.site_id)
+        state.executed = False
+        return True
+
+    # -- helpers -------------------------------------------------------------------------
+
+    def _reply(
+        self, msg: Message, msg_type: MsgType, payload: dict[str, Any]
+    ) -> None:
+        self.network.send(msg.reply(msg_type, payload))

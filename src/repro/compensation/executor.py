@@ -1,0 +1,143 @@
+"""Building and running compensating subtransactions.
+
+When an O2PC participant receives an ABORT decision for a transaction it
+locally committed, it invokes the compensating subtransaction ``CT_ij``
+(Section 2).  This executor:
+
+* builds the compensation's operations — semantic inverses recorded during
+  forward execution (restricted model) when available, otherwise before-image
+  restoring writes from the WAL (generic model).  Either way ``CT_i`` writes
+  at least every item ``T_i`` wrote, satisfying Theorem 2's precondition;
+* runs the compensation **as a local transaction** under local strict 2PL
+  (Section 3.2) — it acquires its own locks, because the forward
+  transaction's locks were released at vote time and other transactions may
+  have touched the data since;
+* enforces *persistence of compensation*: a compensation chosen as a
+  deadlock victim (or otherwise transiently failed) is retried until it
+  commits.  It cannot be aborted permanently — initiating it parallels the
+  irreversible decision to abort the forward transaction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from repro.errors import DeadlockDetected, PersistenceViolation
+from repro.ids import compensation_id
+from repro.txn.operations import Op, WriteOp
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (Site imports us)
+    from repro.txn.site import Site
+
+
+@dataclass
+class CompensationStats:
+    """Counters for the metrics layer."""
+
+    started: int = 0
+    completed: int = 0
+    retries: int = 0
+    #: simulation times: (ct_id, start, end)
+    log: list[tuple[str, float, float]] = field(default_factory=list)
+
+
+class CompensationExecutor:
+    """Builds and persistently executes compensating subtransactions."""
+
+    #: retries beyond this count indicate a livelock in the host setup —
+    #: persistence of compensation is violated rather than looping forever.
+    MAX_RETRIES = 1000
+
+    def __init__(
+        self, site: "Site", retry_delay: float = 1.0,
+        lock_marks: bool = False,
+    ) -> None:
+        self.site = site
+        self.retry_delay = retry_delay
+        #: when the marking set is a lockable database item, rule R2's
+        #: update of ``sitemarks.k`` is the compensation's last write —
+        #: the access pattern behind the Section 6.2 deadlock remark
+        self.lock_marks = lock_marks
+        self.stats = CompensationStats()
+
+    # -- building --------------------------------------------------------------
+
+    def build_ops(self, txn_id: str) -> list[Op]:
+        """Operations of ``CT_ij`` for the locally-committed ``txn_id``.
+
+        Uses the transaction's recorded *undo program* — one step per
+        forward update, in reverse order: the semantic inverse where one is
+        registered, a before-image write otherwise.  This is correct even
+        when semantic and generic updates interleave on the same key
+        (undoing only the newest semantic step would leave the key wrong).
+        After a crash the volatile program is gone; the WAL's before-images
+        are the (generic-model) fallback — oldest update first per key, so
+        each key is restored to its true pre-transaction value.
+        """
+        ltm = self.site.ltm
+        program = ltm.undo_program(txn_id)
+        ops: list[Op]
+        if program:
+            ops = list(program)
+        else:
+            # Oldest update first: its before-image is the key's true
+            # pre-transaction value (a newest-first dedup would restore an
+            # intermediate value for multiply-updated keys).
+            ops = []
+            seen: set[str] = set()
+            for key, before in reversed(ltm.forward_before_images(txn_id)):
+                if key in seen:
+                    continue
+                seen.add(key)
+                ops.append(WriteOp(key=key, value=before))
+        if self.lock_marks:
+            from repro.core.marks import MARKS_KEY
+
+            # Rule R2 as the last operation of CT_ik.
+            ops.append(WriteOp(key=MARKS_KEY, value=txn_id))
+        return ops
+
+    # -- running ----------------------------------------------------------------
+
+    def run(self, txn_id: str):
+        """Run ``CT_ij`` to completion (generator; run inside a process).
+
+        Returns the compensation id.  Retries on deadlock victimization
+        (persistence of compensation); raises
+        :class:`~repro.errors.PersistenceViolation` only after an
+        implausible number of attempts, to surface configuration bugs.
+        """
+        ct_id = compensation_id(txn_id)
+        ops = self.build_ops(txn_id)
+        ltm = self.site.ltm
+        self.stats.started += 1
+        started_at = self.site.env.now
+
+        attempts = 0
+        while True:
+            attempts += 1
+            if attempts > self.MAX_RETRIES:
+                raise PersistenceViolation(
+                    f"{ct_id} failed {self.MAX_RETRIES} times at "
+                    f"{self.site.site_id}"
+                )
+            try:
+                ltm.begin(ct_id)
+                yield from ltm.run_ops(ct_id, ops)
+                ltm.commit(ct_id)
+                break
+            except DeadlockDetected:
+                # The compensation lost a deadlock: undo this attempt and
+                # retry after a back-off.  (abort_local expunges the failed
+                # attempt from the history, so only the successful run
+                # appears in the SG.)
+                ltm.abort_local(ct_id)
+                ltm.status.pop(ct_id, None)
+                self.stats.retries += 1
+                yield self.site.env.timeout(self.retry_delay)
+
+        ltm.mark_compensated(txn_id)
+        self.stats.completed += 1
+        self.stats.log.append((ct_id, started_at, self.site.env.now))
+        return ct_id

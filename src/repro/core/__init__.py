@@ -1,0 +1,39 @@
+"""The paper's core contribution: site marking and protocols P1/P2/SIMPLE.
+
+* :mod:`repro.core.marking` — the per-(site, transaction) marking state
+  machine of Figure 2;
+* :mod:`repro.core.marks` — ``sitemarks``/``transmarks`` sets and the
+  UDUM1 bookkeeping (execution sites, witnesses);
+* :mod:`repro.core.protocols` — the enforcement protocols P1 (rules R1-R3),
+  its dual P2, and the stricter SIMPLE variant, all behind one interface
+  consumed by the commit layer.
+
+The O2PC commit protocol itself lives in :mod:`repro.commit.o2pc`; these
+protocols complement it by preventing regular cycles (Section 6).
+"""
+
+from repro.core.marking import Marking, MarkingEvent, MarkingStateMachine
+from repro.core.marks import MarkingDirectory
+from repro.core.protocols import (
+    CheckResult,
+    MarkingProtocol,
+    NoProtocol,
+    P1Protocol,
+    P2Protocol,
+    SagaMode,
+    SimpleProtocol,
+)
+
+__all__ = [
+    "CheckResult",
+    "Marking",
+    "MarkingDirectory",
+    "MarkingEvent",
+    "MarkingProtocol",
+    "MarkingStateMachine",
+    "NoProtocol",
+    "P1Protocol",
+    "P2Protocol",
+    "SagaMode",
+    "SimpleProtocol",
+]

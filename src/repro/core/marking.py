@@ -1,0 +1,108 @@
+"""The marking state machine of Figure 2.
+
+With respect to a specific global transaction ``T_i``, a site is *unmarked*,
+*locally-committed*, or *undone*.  The transitions (all triggered by local
+events or by messages already part of 2PC — no extra messages):
+
+=====================  ==================================  ==================
+from                   trigger                             to
+=====================  ==================================  ==================
+unmarked               site votes to commit ``T_i``        locally-committed
+unmarked               site votes to abort ``T_i``         undone
+locally-committed      decision message: COMMIT            unmarked
+locally-committed      decision message: ABORT             undone
+undone                 UDUM condition detected             unmarked
+=====================  ==================================  ==================
+
+Any other transition is illegal and raises
+:class:`~repro.errors.ProtocolViolation` — the FIG2 tests and benchmark
+exercise the full matrix.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.errors import ProtocolViolation
+
+
+class Marking(enum.Enum):
+    """Marking of a site with respect to one global transaction."""
+
+    UNMARKED = "unmarked"
+    LOCALLY_COMMITTED = "locally-committed"
+    UNDONE = "undone"
+
+
+class MarkingEvent(enum.Enum):
+    """Triggers of marking transitions (Figure 2 edge labels)."""
+
+    VOTE_COMMIT = "vote-commit"
+    VOTE_ABORT = "vote-abort"
+    DECISION_COMMIT = "decision-commit"
+    DECISION_ABORT = "decision-abort"
+    UDUM = "udum"
+
+
+#: the legal transition relation of Figure 2
+TRANSITIONS: dict[tuple[Marking, MarkingEvent], Marking] = {
+    (Marking.UNMARKED, MarkingEvent.VOTE_COMMIT): Marking.LOCALLY_COMMITTED,
+    (Marking.UNMARKED, MarkingEvent.VOTE_ABORT): Marking.UNDONE,
+    (Marking.LOCALLY_COMMITTED, MarkingEvent.DECISION_COMMIT): Marking.UNMARKED,
+    (Marking.LOCALLY_COMMITTED, MarkingEvent.DECISION_ABORT): Marking.UNDONE,
+    (Marking.UNDONE, MarkingEvent.UDUM): Marking.UNMARKED,
+}
+
+
+@dataclass
+class MarkingStateMachine:
+    """Markings of one site with respect to every global transaction.
+
+    The default state for an unseen transaction is UNMARKED (the paper's
+    initial state), so the machine needs no registration step.
+    """
+
+    site_id: str
+    _states: dict[str, Marking] = field(default_factory=dict)
+    #: audit log of transitions: (time-ordering index implied by position)
+    transitions: list[tuple[str, Marking, MarkingEvent, Marking]] = field(
+        default_factory=list
+    )
+
+    def state(self, txn_id: str) -> Marking:
+        """Current marking with respect to ``txn_id``."""
+        return self._states.get(txn_id, Marking.UNMARKED)
+
+    def fire(self, txn_id: str, event: MarkingEvent) -> Marking:
+        """Apply a transition; returns the new marking.
+
+        Raises :class:`ProtocolViolation` for transitions not in Figure 2.
+        """
+        current = self.state(txn_id)
+        try:
+            new = TRANSITIONS[(current, event)]
+        except KeyError:
+            raise ProtocolViolation(
+                f"site {self.site_id}: illegal marking transition "
+                f"{current.value} --{event.value}--> ? (txn {txn_id})"
+            ) from None
+        if new is Marking.UNMARKED:
+            self._states.pop(txn_id, None)
+        else:
+            self._states[txn_id] = new
+        self.transitions.append((txn_id, current, event, new))
+        return new
+
+    def undone_set(self) -> set[str]:
+        """Transactions this site is undone with respect to (sitemarks)."""
+        return {
+            t for t, m in self._states.items() if m is Marking.UNDONE
+        }
+
+    def locally_committed_set(self) -> set[str]:
+        """Transactions this site is locally-committed with respect to."""
+        return {
+            t for t, m in self._states.items()
+            if m is Marking.LOCALLY_COMMITTED
+        }

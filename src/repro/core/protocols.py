@@ -1,0 +1,373 @@
+"""Enforcement protocols P1, P2, and SIMPLE (Section 6).
+
+All three share one interface (:class:`MarkingProtocol`) consumed by the
+commit layer:
+
+* ``check_spawn`` — rule R1: may transaction ``T_j``, with accumulated marks
+  ``transmarks.j``, start a subtransaction at this site?
+* ``merge_marks`` — R1's update ``transmarks.j ← transmarks.j ∪ sitemarks.k``;
+* ``validate_at_vote`` — the paper's "the check is validated again as the
+  last action of the subtransaction": the final ``transmarks.j`` (complete
+  once every subtransaction has executed) is re-checked at each site when
+  the VOTE-REQ arrives, and the site votes NO on failure.  This catches the
+  mirror-image violation the spawn-time check cannot see (a site visited
+  *before* the mark was picked up elsewhere), and piggybacks on an existing
+  2PC message;
+* marking-transition hooks (``on_vote_commit`` / ``on_vote_abort`` /
+  ``on_decision``) driving the Figure 2 state machine, with the undone
+  marking applied **after** compensation completes (rule R2: the last
+  operation of ``CT_ik`` adds ``T_i`` to ``sitemarks.k``);
+* ``on_executed`` — witness recording for UDUM1 and rule R3 (unmark).
+
+Marks cleared by UDUM are remembered: a transaction still carrying a cleared
+mark in its ``transmarks`` passes checks for it (Lemma 4/6 establish the
+cleared state is safe to mix with anything).
+
+The protocols restrict **only global transactions** — local transactions
+never consult them — so site autonomy is untouched (Section 6.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.marking import MarkingEvent
+from repro.core.marks import MarkingDirectory
+
+
+@dataclass
+class CheckResult:
+    """Outcome of an R1 compatibility check."""
+
+    ok: bool
+    #: when rejected: may the coordinator retry later, or must it abort?
+    retriable: bool = False
+    reason: str = ""
+
+
+@dataclass
+class MarkingProtocol:
+    """Base protocol: common marking transitions, permissive checks."""
+
+    directory: MarkingDirectory = field(default_factory=MarkingDirectory)
+    #: count of R1 rejections (metrics)
+    rejections: int = 0
+
+    name = "none"
+
+    # -- checks (overridden by concrete protocols) ------------------------------
+
+    def check_spawn(
+        self, txn_id: str, site_id: str, transmarks: set[str]
+    ) -> CheckResult:
+        """Rule R1 at subtransaction start."""
+        return CheckResult(ok=True)
+
+    def merge_marks(
+        self, txn_id: str, site_id: str, transmarks: set[str]
+    ) -> set[str]:
+        """Marks the coordinator should add to ``transmarks.j``."""
+        return set()
+
+    def validate_at_vote(
+        self, txn_id: str, site_id: str, transmarks: set[str]
+    ) -> bool:
+        """Final re-validation with the complete ``transmarks.j``."""
+        return True
+
+    # -- marking transitions (Figure 2) -------------------------------------------
+
+    def register_execution(self, txn_id: str, site_ids: list[str]) -> None:
+        """Record a global transaction's execution sites (for UDUM1)."""
+        self.directory.register_execution(txn_id, site_ids)
+
+    def on_vote_commit(self, txn_id: str, site_id: str) -> None:
+        """Site voted YES (O2PC: locally committed)."""
+        self.directory.machine(site_id).fire(txn_id, MarkingEvent.VOTE_COMMIT)
+
+    def on_vote_abort(self, txn_id: str, site_id: str) -> None:
+        """Site voted NO and rolled back (the degenerate ``CT_ik`` is done,
+        so per R2 the undone mark is applied now)."""
+        self.directory.machine(site_id).fire(txn_id, MarkingEvent.VOTE_ABORT)
+        self.directory.note_marked(txn_id, site_id)
+
+    def on_decision_commit(self, txn_id: str, site_id: str) -> None:
+        """Decision COMMIT arrived at a locally-committed site."""
+        self.directory.machine(site_id).fire(
+            txn_id, MarkingEvent.DECISION_COMMIT
+        )
+
+    def on_decision_abort_compensated(self, txn_id: str, site_id: str) -> None:
+        """Decision ABORT arrived and ``CT_ik`` has completed (R2)."""
+        self.directory.machine(site_id).fire(
+            txn_id, MarkingEvent.DECISION_ABORT
+        )
+        self.directory.note_marked(txn_id, site_id)
+
+    def on_transaction_terminated(self, txn_id: str) -> None:
+        """The global transaction fully terminated (coordinator hook).
+
+        Drives the quiescence-based clearing rule: marks whose blocker set
+        drained are removed everywhere (they cannot participate in any new
+        inconsistency — UDUM0's condition is met).
+        """
+        self.directory.note_terminated(txn_id)
+
+    def on_executed(self, observer_txn: str, site_id: str) -> None:
+        """Witness recording; applies rule R3 when UDUM1 becomes true."""
+        for enabled in self.directory.record_witness(observer_txn, site_id):
+            self.directory.apply_udum(enabled, observer_txn)
+
+    # -- helpers ---------------------------------------------------------------------
+
+    def _live(self, marks: set[str]) -> set[str]:
+        """Marks not yet cleared (by UDUM or the quiescence rule)."""
+        return {m for m in marks if m not in self.directory.cleared}
+
+    def sitemarks(self, site_id: str) -> set[str]:
+        """``sitemarks.k`` (undone set) of a site."""
+        return self.directory.sitemarks(site_id)
+
+
+class NoProtocol(MarkingProtocol):
+    """Baseline: O2PC without a complementary protocol (or plain 2PL).
+
+    Regular cycles are possible; the CLAIM-CORRECT experiments use this to
+    show the violations P1 exists to prevent.
+    """
+
+    name = "none"
+
+
+class SagaMode(NoProtocol):
+    """Saga semantics: O2PC "as presented, without any further adjustments".
+
+    Section 4's closing remark: "the loss of serializability would not be
+    worrisome if sagas, or their generalization — multi-transactions — are
+    used."  In a saga application the programmer accepts that concurrent
+    transactions may observe intermediate states; the only guarantees kept
+    are *semantic atomicity* (every global transaction either commits
+    everywhere or is compensated everywhere) and the local serializability
+    of each site.  Operationally identical to :class:`NoProtocol`; the
+    separate name exists so a system's configuration states its intent.
+    """
+
+    name = "saga"
+
+
+class P1Protocol(MarkingProtocol):
+    """Protocol P1: once a transaction touches a site undone with respect to
+    ``T_i``, **every** site it touches must be undone with respect to
+    ``T_i`` (rule P1(a)) — including sites where ``T_i`` never executed.
+
+    The full strictness is necessary, not pedantry: a relaxed variant that
+    binds marks only at ``T_i``'s own sites is unsound, because a third
+    transaction that read ``T_i``'s exposed updates can *relay* the
+    inconsistency into a ``T_i``-free site and close a regular cycle there
+    (``T_j → T_m`` at the free site, ``T_m → CT_i`` and ``CT_i → T_j``
+    elsewhere).  The relaxed variant was tried during development and the
+    randomized-correctness benchmark found exactly such a three-party
+    cycle; see EXPERIMENTS.md (CLAIM-CORRECT).
+
+    What this protocol guarantees on executions (latch-mode marking sets,
+    the paper's "acceptable compromise"): **atomicity of compensation**
+    holds unconditionally — no transaction ever reads both a forward
+    transaction's exposed updates and its compensation's — and regular
+    cycles through committed transactions are prevented pairwise.  Cycles
+    threaded through *two or more* compensations' mutual data orderings are
+    outside the marking machinery's reach without fully 2PL-locked marking
+    sets (which the paper's own Section 6.2 remark shows to be
+    deadlock-prone); the ``eager_rule`` evaluation below empirically
+    suppresses the residue (zero occurrences in the 24-run reference sweep,
+    versus one without it) at a ~10% commit cost.
+    """
+
+    name = "P1"
+
+    #: ablation switch: evaluate the full P1(a) rule eagerly at spawn (the
+    #: default) or run only the paper's one-directional compatible() check
+    #: and rely on the vote-time re-validation
+    eager_rule: bool = True
+
+    def _missing(self, site_id: str, transmarks: set[str]) -> set[str]:
+        """Live marks in ``transmarks`` not present at ``site_id``."""
+        return self._live(transmarks) - self.sitemarks(site_id)
+
+    def check_spawn(
+        self, txn_id: str, site_id: str, transmarks: set[str]
+    ) -> CheckResult:
+        """Rule R1 plus the eager full-rule evaluation (see class doc)."""
+        # The one-directional compatible() check of the paper, first.
+        missing = self._missing(site_id, transmarks)
+        # Eager evaluation of the *full* P1(a) rule: the coordinator knows
+        # T_j's complete site list (it is registered before spawning), so a
+        # mark visible here can be checked against every site T_j will
+        # touch immediately — rejecting retriably *before* the doomed
+        # subtransaction executes and exposes updates, instead of letting
+        # the vote-time re-validation abort it after the fact.  The
+        # required information (which sites are undone with respect to the
+        # marked transaction) lives in the same augmented structures the
+        # markings themselves use; no extra messages.
+        doomed: set[str] = set()
+        txn_sites = self.directory.exec_sites.get(txn_id, set())
+        candidates = (
+            self._live(transmarks) | self._live(self.sitemarks(site_id))
+            if self.eager_rule else set()
+        )
+        for mark in candidates:
+            # Sites of T_j where the mark can *never* appear (the marked
+            # transaction did not execute there): only a UDUM clearing can
+            # reconcile those, so wait for it here rather than executing a
+            # doomed subtransaction.  Sites inside the marked transaction's
+            # own execution set will be marked as its roll-backs and
+            # compensations complete — proceeding is fine, the vote-time
+            # validation will find the marks in place.
+            mark_sites = self.directory.exec_sites.get(mark, set())
+            if not txn_sites <= mark_sites:
+                doomed.add(mark)
+        if not missing and not doomed:
+            return CheckResult(ok=True)
+        self.rejections += 1
+        # Always retriable: the marked transaction's remaining roll-backs /
+        # compensations will extend its undone set, or rule R3 (UDUM) will
+        # clear the mark once witnesses cover its execution sites.  The
+        # coordinator's bounded retry budget converts a persistent
+        # incompatibility into the abort Section 6.2 describes.
+        return CheckResult(
+            ok=False,
+            retriable=True,
+            reason=(
+                f"marks {sorted(missing)} absent at {site_id}; "
+                f"marks {sorted(doomed)} not satisfiable at all sites"
+            ),
+        )
+
+    def merge_marks(
+        self, txn_id: str, site_id: str, transmarks: set[str]
+    ) -> set[str]:
+        return self.sitemarks(site_id)
+
+    def validate_at_vote(
+        self, txn_id: str, site_id: str, transmarks: set[str]
+    ) -> bool:
+        return not self._missing(site_id, transmarks)
+
+
+class P2Protocol(MarkingProtocol):
+    """Protocol P2 (the dual of P1): a transaction's sites must be either
+    all locally-committed with respect to ``T_i``, or all undone/unmarked.
+
+    P2 uses the locally-committed marking, which clears deterministically
+    when the decision message arrives, so it needs no UDUM machinery — but
+    it restricts transactions during the vote-to-decision window instead of
+    after aborts.
+    """
+
+    name = "P2"
+
+    def __init__(self, directory: MarkingDirectory | None = None) -> None:
+        super().__init__(directory=directory or MarkingDirectory())
+        #: transactions whose global decision was COMMIT (marks cleared)
+        self._committed: set[str] = set()
+
+    def _lc(self, site_id: str) -> set[str]:
+        return self.directory.lc_marks(site_id)
+
+    def _missing(self, site_id: str, transmarks: set[str]) -> set[str]:
+        """LC marks carried by the transaction and absent at ``site_id``.
+
+        Strict, like P1: a transaction that saw ``T_i`` locally committed
+        somewhere must find it locally committed at *every* site it
+        touches, unless ``T_i``'s global decision was COMMIT (the marks
+        cleared benignly everywhere).
+        """
+        here = self._lc(site_id)
+        return {
+            m for m in transmarks
+            if m not in self._committed and m not in here
+        }
+
+    def check_spawn(
+        self, txn_id: str, site_id: str, transmarks: set[str]
+    ) -> CheckResult:
+        missing = self._missing(site_id, transmarks)
+        if not missing:
+            return CheckResult(ok=True)
+        self.rejections += 1
+        # Retriable only while every missing mark can still appear here:
+        # the marked transaction executed at this site and has not been
+        # rolled back here (a site undone with respect to it will never be
+        # locally committed with respect to it again).
+        retriable = all(
+            site_id in self.directory.exec_sites.get(m, set())
+            and m not in self.sitemarks(site_id)
+            for m in missing
+        )
+        return CheckResult(
+            ok=False,
+            retriable=retriable,
+            reason=f"LC marks {sorted(missing)} absent at {site_id}",
+        )
+
+    def merge_marks(
+        self, txn_id: str, site_id: str, transmarks: set[str]
+    ) -> set[str]:
+        return self._lc(site_id)
+
+    def validate_at_vote(
+        self, txn_id: str, site_id: str, transmarks: set[str]
+    ) -> bool:
+        return not self._missing(site_id, transmarks)
+
+    def on_decision_commit(self, txn_id: str, site_id: str) -> None:
+        super().on_decision_commit(txn_id, site_id)
+        self._committed.add(txn_id)
+
+
+class SimpleProtocol(MarkingProtocol):
+    """The "very simple protocol" of Section 6.2's closing remark: all of a
+    transaction's sites must be undone with respect to exactly the same
+    transactions, and locally-committed with respect to none.
+
+    Maximally simple, minimally concurrent — the CLAIM-P1CONC experiment
+    quantifies the trade-off against P1/P2.
+    """
+
+    name = "SIMPLE"
+
+    def __init__(self, directory: MarkingDirectory | None = None) -> None:
+        super().__init__(directory=directory or MarkingDirectory())
+        #: transactions that have joined at least one site (whose undone-set
+        #: baseline is therefore fixed)
+        self._joined: set[str] = set()
+
+    def check_spawn(
+        self, txn_id: str, site_id: str, transmarks: set[str]
+    ) -> CheckResult:
+        if self.directory.lc_marks(site_id):
+            self.rejections += 1
+            return CheckResult(
+                ok=False, retriable=True,
+                reason=f"{site_id} is locally-committed wrt some transaction",
+            )
+        here = self.sitemarks(site_id)
+        if txn_id in self._joined and self._live(transmarks) != self._live(here):
+            self.rejections += 1
+            return CheckResult(
+                ok=False, retriable=True,
+                reason=f"undone sets differ at {site_id}",
+            )
+        return CheckResult(ok=True)
+
+    def merge_marks(
+        self, txn_id: str, site_id: str, transmarks: set[str]
+    ) -> set[str]:
+        self._joined.add(txn_id)
+        return self.sitemarks(site_id)
+
+    def validate_at_vote(
+        self, txn_id: str, site_id: str, transmarks: set[str]
+    ) -> bool:
+        if self.directory.lc_marks(site_id):
+            return False
+        return self._live(transmarks) == self._live(self.sitemarks(site_id))

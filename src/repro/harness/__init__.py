@@ -1,0 +1,28 @@
+"""Experiment harness: system assembly, metrics, experiment running.
+
+:class:`~repro.harness.system.System` wires a full multidatabase out of the
+substrates (simulation kernel, network, sites, participants, marking
+protocol) and exposes one-call transaction submission.
+:mod:`repro.harness.metrics` aggregates the raw logs (lock holds, waits,
+message counters, outcomes) into the quantities the paper's claims are
+about.  :mod:`repro.harness.experiment` provides parameter sweeps and table
+formatting for the benchmark suite and EXPERIMENTS.md.
+"""
+
+from repro.harness.experiment import ExperimentResult, Sweep, format_table
+from repro.harness.metrics import MetricsReport, collect_metrics
+from repro.harness.system import System, SystemConfig
+from repro.harness.trace import lock_gantt, marking_audit, transaction_timeline
+
+__all__ = [
+    "ExperimentResult",
+    "MetricsReport",
+    "Sweep",
+    "System",
+    "SystemConfig",
+    "collect_metrics",
+    "format_table",
+    "lock_gantt",
+    "marking_audit",
+    "transaction_timeline",
+]

@@ -1,0 +1,21 @@
+"""Per-site locking: S/X lock manager, strict 2PL, deadlock handling.
+
+The lock manager is the heart of the paper's performance story: under
+distributed 2PL, exclusive locks are held until the 2PC decision arrives;
+under O2PC they are released at vote time.  The manager therefore records
+grant/release timestamps for every lock so the harness can measure lock-hold
+windows directly.
+"""
+
+from repro.locking.deadlock import DeadlockDetector, WaitsForGraph
+from repro.locking.manager import LockManager, LockRequest
+from repro.locking.modes import LockMode, compatible_modes
+
+__all__ = [
+    "DeadlockDetector",
+    "LockManager",
+    "LockMode",
+    "LockRequest",
+    "WaitsForGraph",
+    "compatible_modes",
+]

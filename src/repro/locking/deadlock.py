@@ -1,0 +1,123 @@
+"""Waits-for graph and deadlock detection.
+
+The lock manager maintains a waits-for edge ``waiter → holder`` whenever a
+request blocks.  :class:`DeadlockDetector` searches for cycles on each new
+block (continuous detection) and names a victim — by default the youngest
+transaction on the cycle (highest sequence number), a standard policy that
+favors transactions holding locks the longest.
+
+Section 6.2 of the paper points out a specific deadlock pattern introduced by
+protocol P1's marking sets (a reader of ``sitemarks.k`` vs. a compensating
+subtransaction) and a remedy; the ``CLAIM-DEADLOCK`` experiment constructs
+that pattern against this detector.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Callable, Iterable
+
+
+class WaitsForGraph:
+    """Directed graph of "transaction A waits for transaction B"."""
+
+    def __init__(self) -> None:
+        self._edges: dict[str, set[str]] = defaultdict(set)
+
+    def add_wait(self, waiter: str, holders: Iterable[str]) -> None:
+        """Record that ``waiter`` blocks on each of ``holders``."""
+        targets = {h for h in holders if h != waiter}
+        if targets:
+            self._edges[waiter].update(targets)
+
+    def remove_waiter(self, waiter: str) -> None:
+        """Drop all outgoing edges of ``waiter`` (it got its lock or died)."""
+        self._edges.pop(waiter, None)
+
+    def remove_transaction(self, txn_id: str) -> None:
+        """Remove ``txn_id`` from the graph entirely."""
+        self._edges.pop(txn_id, None)
+        for targets in self._edges.values():
+            targets.discard(txn_id)
+
+    def successors(self, txn_id: str) -> set[str]:
+        """Transactions ``txn_id`` is waiting for."""
+        return set(self._edges.get(txn_id, ()))
+
+    def edges(self) -> list[tuple[str, str]]:
+        """All (waiter, holder) edges, sorted for determinism."""
+        return sorted(
+            (w, h) for w, targets in self._edges.items() for h in targets
+        )
+
+    def find_cycle(self, start: str | None = None) -> list[str] | None:
+        """Return one cycle as a node list (first == last), or None.
+
+        When ``start`` is given, only cycles reachable from it are searched —
+        sufficient for continuous detection, since a new cycle must pass
+        through the edge just added.
+        """
+        roots = [start] if start is not None else sorted(self._edges)
+        for root in roots:
+            cycle = self._dfs_cycle(root)
+            if cycle is not None:
+                return cycle
+        return None
+
+    def _dfs_cycle(self, root: str) -> list[str] | None:
+        path: list[str] = []
+        on_path: set[str] = set()
+        visited: set[str] = set()
+
+        def visit(node: str) -> list[str] | None:
+            path.append(node)
+            on_path.add(node)
+            for succ in sorted(self._edges.get(node, ())):
+                if succ in on_path:
+                    idx = path.index(succ)
+                    return path[idx:] + [succ]
+                if succ not in visited:
+                    found = visit(succ)
+                    if found is not None:
+                        return found
+            path.pop()
+            on_path.discard(node)
+            visited.add(node)
+            return None
+
+        return visit(root)
+
+
+class DeadlockDetector:
+    """Victim-selection policy over a :class:`WaitsForGraph`."""
+
+    def __init__(
+        self,
+        graph: WaitsForGraph,
+        victim_policy: Callable[[list[str]], str] | None = None,
+    ) -> None:
+        self.graph = graph
+        self._policy = victim_policy or self.youngest_victim
+        #: all cycles observed, for metrics
+        self.detected: list[list[str]] = []
+
+    @staticmethod
+    def youngest_victim(cycle: list[str]) -> str:
+        """Default policy: abort the transaction with the largest id suffix.
+
+        Ids are dense (``T1``, ``T2``, ...) so the largest numeric suffix is
+        the youngest transaction; ties break lexicographically.
+        """
+        def age_key(txn_id: str) -> tuple[int, str]:
+            digits = "".join(ch for ch in txn_id if ch.isdigit())
+            return (int(digits) if digits else -1, txn_id)
+
+        return max(set(cycle), key=age_key)
+
+    def check(self, waiter: str) -> str | None:
+        """Run detection after ``waiter`` blocked; return the victim or None."""
+        cycle = self.graph.find_cycle(start=waiter)
+        if cycle is None:
+            return None
+        self.detected.append(cycle)
+        return self._policy(cycle)

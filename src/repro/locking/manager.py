@@ -1,0 +1,382 @@
+"""The per-site lock manager.
+
+Grants are FIFO-fair: a request blocks if it conflicts with a current holder
+*or* with an earlier queued request (no barging), except lock *upgrades*
+(S→X by the sole holder) which take priority to keep the common
+read-then-write pattern live.
+
+Blocking integrates with the simulation kernel: :meth:`LockManager.acquire`
+returns an event that triggers when the lock is granted, so transaction
+processes simply ``yield`` it.  Deadlocks are detected continuously on every
+block; the victim's pending request fails with
+:class:`~repro.errors.DeadlockDetected`.
+
+The manager also enforces two-phase locking per transaction (acquire after
+release raises :class:`~repro.errors.TwoPhaseViolation`) and records every
+lock-hold interval — the raw data behind the paper's lock-hold-time claim
+(experiment ``CLAIM-LOCK``).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+from repro.errors import DeadlockDetected, LockNotHeld, TwoPhaseViolation
+from repro.locking.deadlock import DeadlockDetector, WaitsForGraph
+from repro.locking.modes import LockMode, compatible_modes, stronger
+from repro.sim.engine import Environment
+from repro.sim.events import Event
+
+
+@dataclass
+class LockRequest:
+    """A queued (blocked) lock request."""
+
+    txn_id: str
+    key: str
+    mode: LockMode
+    event: Event
+    requested_at: float
+    is_upgrade: bool = False
+
+
+@dataclass
+class HoldRecord:
+    """One completed lock-hold interval (for metrics)."""
+
+    txn_id: str
+    key: str
+    mode: LockMode
+    granted_at: float
+    released_at: float
+
+    @property
+    def duration(self) -> float:
+        """Length of the hold interval."""
+        return self.released_at - self.granted_at
+
+
+@dataclass
+class _Grant:
+    """A currently held lock."""
+
+    mode: LockMode
+    granted_at: float
+
+
+class LockManager:
+    """S/X lock table for one site."""
+
+    def __init__(
+        self,
+        env: Environment,
+        site_id: str = "site",
+        enforce_2pl: bool = True,
+        lock_timeout: float | None = None,
+    ) -> None:
+        self.env = env
+        self.site_id = site_id
+        self.enforce_2pl = enforce_2pl
+        #: when set, a blocked request fails with
+        #: :class:`~repro.errors.LockTimeout` after this many time units —
+        #: the timeout-based deadlock resolution common where a waits-for
+        #: graph is unavailable (it also breaks cross-site deadlocks, which
+        #: the local detector cannot see)
+        self.lock_timeout = lock_timeout
+        #: key → {txn_id → grant}
+        self._holders: dict[str, dict[str, _Grant]] = {}
+        #: key → FIFO of blocked requests
+        self._queues: dict[str, deque[LockRequest]] = {}
+        #: transactions in their shrinking phase (released at least one lock)
+        self._shrinking: set[str] = set()
+        self.waits_for = WaitsForGraph()
+        self.detector = DeadlockDetector(self.waits_for)
+        #: completed hold intervals (metrics)
+        self.hold_log: list[HoldRecord] = []
+        #: per-request wait durations (metrics): (txn, key, wait_time)
+        self.wait_log: list[tuple[str, str, float]] = []
+
+    # -- introspection ---------------------------------------------------------
+
+    def holders(self, key: str) -> dict[str, LockMode]:
+        """Current holders of ``key`` and their modes."""
+        return {t: g.mode for t, g in self._holders.get(key, {}).items()}
+
+    def held_mode(self, txn_id: str, key: str) -> LockMode | None:
+        """Mode in which ``txn_id`` holds ``key``, or None."""
+        grant = self._holders.get(key, {}).get(txn_id)
+        return grant.mode if grant else None
+
+    def locks_of(self, txn_id: str) -> dict[str, LockMode]:
+        """All keys ``txn_id`` currently holds, with modes."""
+        return {
+            key: grants[txn_id].mode
+            for key, grants in self._holders.items()
+            if txn_id in grants
+        }
+
+    def queue_length(self, key: str) -> int:
+        """Number of blocked requests on ``key``."""
+        return len(self._queues.get(key, ()))
+
+    # -- acquire ----------------------------------------------------------------
+
+    def acquire(self, txn_id: str, key: str, mode: LockMode) -> Event:
+        """Request ``key`` in ``mode``; the returned event triggers on grant.
+
+        Immediately-grantable requests return an already-triggered event, so
+        a process that yields it continues in the same time step.
+        """
+        if self.enforce_2pl and txn_id in self._shrinking:
+            raise TwoPhaseViolation(
+                f"{txn_id} acquired {key} after releasing a lock (2PL)"
+            )
+        event = Event(self.env)
+
+        held = self.held_mode(txn_id, key)
+        if held is not None and not (held is LockMode.S and mode is LockMode.X):
+            # Re-entrant: already held in a sufficient mode.
+            event.succeed((key, held))
+            return event
+
+        is_upgrade = held is LockMode.S and mode is LockMode.X
+        if self._grantable(txn_id, key, mode, is_upgrade):
+            self._grant(txn_id, key, mode, requested_at=self.env.now)
+            event.succeed((key, mode))
+            return event
+
+        request = LockRequest(
+            txn_id=txn_id,
+            key=key,
+            mode=mode,
+            event=event,
+            requested_at=self.env.now,
+            is_upgrade=is_upgrade,
+        )
+        queue = self._queues.setdefault(key, deque())
+        if is_upgrade:
+            # Upgrades go to the front: they only wait for other holders.
+            queue.appendleft(request)
+        else:
+            queue.append(request)
+        self._record_waits(request)
+        self._detect_deadlock(request)
+        if self.lock_timeout is not None and not event.triggered:
+            self.env.process(
+                self._timeout_watchdog(request),
+                name=f"locktimeout:{txn_id}:{key}",
+            )
+        return event
+
+    def _timeout_watchdog(self, request: LockRequest):
+        from repro.errors import LockTimeout
+
+        yield self.env.timeout(self.lock_timeout)
+        if request.event.triggered:
+            return
+        queue = self._queues.get(request.key)
+        if queue is None or request not in queue:
+            return
+        queue.remove(request)
+        if not queue:
+            self._queues.pop(request.key, None)
+        self.waits_for.remove_waiter(request.txn_id)
+        request.event.fail(LockTimeout(
+            f"{request.txn_id} waited {self.lock_timeout} for "
+            f"{request.key} at {self.site_id}"
+        ))
+        self._wake_waiters(request.key)
+
+    def _grantable(
+        self, txn_id: str, key: str, mode: LockMode, is_upgrade: bool
+    ) -> bool:
+        holders = self._holders.get(key, {})
+        for holder, grant in holders.items():
+            if holder == txn_id:
+                continue
+            if not compatible_modes(grant.mode, mode):
+                return False
+        if is_upgrade:
+            # An upgrade ignores the queue (it has priority) and only needs
+            # the other holders gone.
+            return True
+        queue = self._queues.get(key)
+        if queue:
+            # FIFO fairness: a new request never overtakes a queued one it
+            # conflicts with; S may still slip past queued S.
+            for queued in queue:
+                if queued.txn_id != txn_id and not compatible_modes(
+                    queued.mode, mode
+                ):
+                    return False
+        return True
+
+    def _grant(
+        self, txn_id: str, key: str, mode: LockMode, requested_at: float
+    ) -> None:
+        grants = self._holders.setdefault(key, {})
+        existing = grants.get(txn_id)
+        if existing is not None:
+            # Upgrade: close the S-hold interval, open the X interval.
+            self.hold_log.append(
+                HoldRecord(
+                    txn_id=txn_id,
+                    key=key,
+                    mode=existing.mode,
+                    granted_at=existing.granted_at,
+                    released_at=self.env.now,
+                )
+            )
+            mode = stronger(existing.mode, mode)
+        grants[txn_id] = _Grant(mode=mode, granted_at=self.env.now)
+        self.wait_log.append((txn_id, key, self.env.now - requested_at))
+
+    # -- release -----------------------------------------------------------------
+
+    def release(self, txn_id: str, key: str) -> None:
+        """Release one lock; wakes newly grantable waiters."""
+        grants = self._holders.get(key, {})
+        grant = grants.pop(txn_id, None)
+        if grant is None:
+            raise LockNotHeld(f"{txn_id} does not hold {key}")
+        if not grants:
+            self._holders.pop(key, None)
+        self._shrinking.add(txn_id)
+        self.hold_log.append(
+            HoldRecord(
+                txn_id=txn_id,
+                key=key,
+                mode=grant.mode,
+                granted_at=grant.granted_at,
+                released_at=self.env.now,
+            )
+        )
+        self._wake_waiters(key)
+
+    def release_all(self, txn_id: str) -> list[str]:
+        """Release every lock of ``txn_id``; returns the released keys.
+
+        This is the operation O2PC performs at vote time and distributed 2PL
+        performs at decision time.
+        """
+        keys = sorted(self.locks_of(txn_id))
+        for key in keys:
+            self.release(txn_id, key)
+        # The transaction is gone: drop any waits-for edges pointing at it.
+        self.waits_for.remove_transaction(txn_id)
+        return keys
+
+    def cancel(self, txn_id: str, key: str | None = None) -> int:
+        """Withdraw pending (blocked) requests of ``txn_id``.
+
+        Used when a transaction aborts while waiting — e.g. an abort
+        decision arrives for a subtransaction still blocked on a lock.  The
+        cancelled requests' events fail with
+        :class:`~repro.errors.TransactionAborted`, waking their waiting
+        process so it can unwind.  Returns the number cancelled.
+        """
+        from repro.errors import TransactionAborted
+
+        cancelled = 0
+        for qkey, queue in list(self._queues.items()):
+            if key is not None and qkey != key:
+                continue
+            remaining: deque[LockRequest] = deque()
+            for request in queue:
+                if request.txn_id == txn_id:
+                    cancelled += 1
+                    if not request.event.triggered:
+                        exc = TransactionAborted(
+                            txn_id, f"lock request on {qkey} cancelled"
+                        )
+                        request.event.fail(exc)
+                        request.event.defused = True
+                else:
+                    remaining.append(request)
+            if remaining:
+                self._queues[qkey] = remaining
+            else:
+                self._queues.pop(qkey, None)
+            if cancelled:
+                self._wake_waiters(qkey)
+        self.waits_for.remove_waiter(txn_id)
+        return cancelled
+
+    def forget(self, txn_id: str) -> None:
+        """Clear 2PL shrink-phase state for a finished transaction id."""
+        self._shrinking.discard(txn_id)
+
+    # -- waking / deadlock -------------------------------------------------------
+
+    def _wake_waiters(self, key: str) -> None:
+        queue = self._queues.get(key)
+        if not queue:
+            return
+        progressed = True
+        while progressed and queue:
+            progressed = False
+            head = queue[0]
+            if head.event.triggered:
+                queue.popleft()
+                progressed = True
+                continue
+            if self._holders_compatible(head):
+                queue.popleft()
+                self._grant(
+                    head.txn_id, head.key, head.mode, head.requested_at
+                )
+                self.waits_for.remove_waiter(head.txn_id)
+                head.event.succeed((head.key, head.mode))
+                progressed = True
+        if not queue:
+            self._queues.pop(key, None)
+        else:
+            # Refresh waits-for edges of the remaining head (its blockers
+            # may have changed).
+            self._record_waits(queue[0])
+
+    def _holders_compatible(self, request: LockRequest) -> bool:
+        for holder, grant in self._holders.get(request.key, {}).items():
+            if holder == request.txn_id:
+                continue
+            if not compatible_modes(grant.mode, request.mode):
+                return False
+        return True
+
+    def _record_waits(self, request: LockRequest) -> None:
+        blockers = [
+            holder
+            for holder, grant in self._holders.get(request.key, {}).items()
+            if holder != request.txn_id
+            and not compatible_modes(grant.mode, request.mode)
+        ]
+        queue = self._queues.get(request.key, ())
+        for queued in queue:
+            if queued is request:
+                break
+            if queued.txn_id != request.txn_id and not compatible_modes(
+                queued.mode, request.mode
+            ):
+                blockers.append(queued.txn_id)
+        self.waits_for.add_wait(request.txn_id, blockers)
+
+    def _detect_deadlock(self, request: LockRequest) -> None:
+        victim = self.detector.check(request.txn_id)
+        if victim is None:
+            return
+        cycle = self.detector.detected[-1]
+        # Fail every pending request of the victim; its owner must abort.
+        exc = DeadlockDetected(victim, cycle)
+        for qkey, queue in list(self._queues.items()):
+            remaining: deque[LockRequest] = deque()
+            for queued in queue:
+                if queued.txn_id == victim and not queued.event.triggered:
+                    queued.event.fail(exc)
+                else:
+                    remaining.append(queued)
+            if remaining:
+                self._queues[qkey] = remaining
+            else:
+                self._queues.pop(qkey, None)
+        self.waits_for.remove_waiter(victim)

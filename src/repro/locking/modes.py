@@ -1,0 +1,40 @@
+"""Lock modes and their compatibility matrix.
+
+Two classical modes: shared (S, read) and exclusive (X, write).  S is
+compatible with S; X is compatible with nothing.
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class LockMode(enum.Enum):
+    """Lock mode of a request or a held lock."""
+
+    S = "S"
+    X = "X"
+
+    def __lt__(self, other: "LockMode") -> bool:
+        # S < X: used when picking the strongest requested/held mode.
+        order = {LockMode.S: 0, LockMode.X: 1}
+        return order[self] < order[other]
+
+
+#: compatibility[(held, requested)] — True when the pair can coexist
+_COMPAT: dict[tuple[LockMode, LockMode], bool] = {
+    (LockMode.S, LockMode.S): True,
+    (LockMode.S, LockMode.X): False,
+    (LockMode.X, LockMode.S): False,
+    (LockMode.X, LockMode.X): False,
+}
+
+
+def compatible_modes(held: LockMode, requested: LockMode) -> bool:
+    """True when ``requested`` can be granted alongside ``held``."""
+    return _COMPAT[(held, requested)]
+
+
+def stronger(a: LockMode, b: LockMode) -> LockMode:
+    """The stronger of two modes (X dominates S)."""
+    return b if a < b else a

@@ -1,0 +1,20 @@
+"""Message-passing substrate between sites.
+
+Provides typed :class:`~repro.net.message.Message` objects, a
+:class:`~repro.net.network.Network` with per-link latency and loss models, and
+:class:`~repro.net.failures.FailureInjector` for crash/recovery schedules.
+"""
+
+from repro.net.failures import FailureInjector, SiteStatus
+from repro.net.message import Message, MsgType
+from repro.net.network import ExponentialLatency, LatencyModel, Network
+
+__all__ = [
+    "ExponentialLatency",
+    "FailureInjector",
+    "LatencyModel",
+    "Message",
+    "MsgType",
+    "Network",
+    "SiteStatus",
+]

@@ -1,0 +1,89 @@
+"""Message types exchanged between sites.
+
+The message vocabulary follows the paper exactly: the 2PC rounds are
+``VOTE_REQ`` (PREPARE), ``VOTE``, and ``DECISION`` plus the customary ``ACK``.
+Transaction processing uses ``SUBTXN_REQ``/``SUBTXN_ACK`` to submit a
+subtransaction and acknowledge its operations — the coordinator starts 2PC
+only after all operation acknowledgements (Section 2, distributed 2PL).
+
+O2PC introduces **no new message types** — that is one of the paper's claims,
+and the benchmark ``CLAIM-MSG`` counts these very objects to verify it.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+from typing import Any
+
+
+class MsgType(enum.Enum):
+    """Wire message types (2PC vocabulary plus subtransaction submission)."""
+
+    #: coordinator → participant: request to execute a subtransaction
+    SUBTXN_REQ = "SUBTXN_REQ"
+    #: participant → coordinator: all operations executed (or rejected)
+    SUBTXN_ACK = "SUBTXN_ACK"
+    #: coordinator → participant: first 2PC round (PREPARE)
+    VOTE_REQ = "VOTE_REQ"
+    #: participant → coordinator: YES/NO vote
+    VOTE = "VOTE"
+    #: coordinator → participant: final commit/abort decision
+    DECISION = "DECISION"
+    #: participant → coordinator: decision acknowledged
+    ACK = "ACK"
+
+
+class Vote(enum.Enum):
+    """A participant's vote in the 2PC first phase."""
+
+    YES = "YES"
+    NO = "NO"
+
+
+class Decision(enum.Enum):
+    """The coordinator's final decision."""
+
+    COMMIT = "COMMIT"
+    ABORT = "ABORT"
+
+
+_seq = itertools.count(1)
+
+
+@dataclass
+class Message:
+    """A single message on the wire.
+
+    ``payload`` carries protocol-specific data (votes, decisions, operation
+    lists).  ``send_time``/``deliver_time`` are stamped by the network and
+    used by the metrics layer to account latency.
+    """
+
+    msg_type: MsgType
+    sender: str
+    recipient: str
+    txn_id: str
+    payload: dict[str, Any] = field(default_factory=dict)
+    send_time: float = -1.0
+    deliver_time: float = -1.0
+    seq: int = field(default_factory=lambda: next(_seq))
+
+    def reply(
+        self, msg_type: MsgType, payload: dict[str, Any] | None = None
+    ) -> "Message":
+        """Build a reply addressed back to this message's sender."""
+        return Message(
+            msg_type=msg_type,
+            sender=self.recipient,
+            recipient=self.sender,
+            txn_id=self.txn_id,
+            payload=payload or {},
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"<Msg #{self.seq} {self.msg_type.value} {self.sender}->"
+            f"{self.recipient} txn={self.txn_id} {self.payload}>"
+        )

@@ -1,0 +1,82 @@
+"""Atomicity of compensation (Theorem 2).
+
+A transaction must never observe *both* uncompensated-for updates of ``T_i``
+and updates of ``CT_i`` (Section 4).  Theorem 2: if the history is correct
+(no regular cycles) and ``CT_i`` writes at least all data items written by
+``T_i``, no transaction reads from both ``T_i`` and ``CT_i``.
+
+The checker works on the reads-from relation of a
+:class:`~repro.sg.history.GlobalHistory`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.ids import compensation_id, is_compensation_id
+from repro.sg.history import GlobalHistory
+
+
+@dataclass
+class AtomicityReport:
+    """Result of an atomicity-of-compensation check."""
+
+    #: (reader, forward txn) pairs where the reader read from both T_i and CT_i
+    violations: list[tuple[str, str]] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        """True when no violations were found."""
+        return not self.violations
+
+
+def check_atomicity_of_compensation(history: GlobalHistory) -> AtomicityReport:
+    """Find transactions that read from both a ``T_i`` and its ``CT_i``.
+
+    Marking-set accesses are bookkeeping, not data: a validation read of
+    ``sitemarks.k`` "reading from" a compensation's marking write is the
+    intended serialization mechanism, not an exposure of compensated data,
+    so the reserved marking-set item is excluded.
+    """
+    from repro.core.marks import MARKS_KEY
+
+    read_from: dict[str, set[str]] = {}
+    for reader, writer, key, _site in history.reads_from():
+        if key == MARKS_KEY:
+            continue
+        read_from.setdefault(reader, set()).add(writer)
+
+    report = AtomicityReport()
+    for reader, writers in sorted(read_from.items()):
+        for writer in sorted(writers):
+            if is_compensation_id(writer):
+                continue
+            if compensation_id(writer) in writers:
+                report.violations.append((reader, writer))
+    return report
+
+
+def compensation_writes_cover(
+    history: GlobalHistory, txn_id: str
+) -> bool:
+    """Theorem 2's precondition: ``CT_i`` writes ⊇ ``T_i``'s writes.
+
+    Checked per site where ``T_i`` wrote anything.
+    """
+    from repro.sg.conflicts import OpKind
+
+    cti = compensation_id(txn_id)
+    for site_history in history.sites.values():
+        t_writes = {
+            op.key for op in site_history.ops
+            if op.txn_id == txn_id and op.kind is OpKind.WRITE
+        }
+        if not t_writes:
+            continue
+        ct_writes = {
+            op.key for op in site_history.ops
+            if op.txn_id == cti and op.kind is OpKind.WRITE
+        }
+        if not t_writes <= ct_writes:
+            return False
+    return True

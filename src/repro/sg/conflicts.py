@@ -1,0 +1,51 @@
+"""Operations and the conflict relation.
+
+Two operations conflict when they belong to different transactions, access
+the same data item, and at least one of them is a write — the standard
+definition the paper inherits from [BHG87].
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class OpKind(enum.Enum):
+    """Kind of a database operation."""
+
+    READ = "r"
+    WRITE = "w"
+
+
+@dataclass(frozen=True)
+class Operation:
+    """One read or write in a site's history.
+
+    ``seq`` is the operation's position in its site's total order; histories
+    assign it, so operations are comparable by time-of-occurrence at a site.
+    """
+
+    txn_id: str
+    kind: OpKind
+    key: str
+    site: str
+    seq: int
+
+    def __repr__(self) -> str:
+        return f"{self.kind.value}_{self.txn_id}[{self.key}]@{self.site}#{self.seq}"
+
+
+def conflicts(a: Operation, b: Operation) -> bool:
+    """True when ``a`` and ``b`` conflict.
+
+    Different transactions, same key, at least one write.  Site equality is
+    *not* required by the definition (operations at different sites never
+    share a key in a partitioned database, and when they do, the local SGs
+    are built per site anyway).
+    """
+    return (
+        a.txn_id != b.txn_id
+        and a.key == b.key
+        and (a.kind is OpKind.WRITE or b.kind is OpKind.WRITE)
+    )

@@ -1,0 +1,147 @@
+"""Histories: per-site operation sequences and their classification.
+
+A :class:`SiteHistory` is the (complete) local history of one site: a total
+order of read/write operations, plus the termination status of transactions
+(local transactions only enter the serialization graph once committed).
+
+A :class:`GlobalHistory` bundles the site histories of one run and knows how
+to classify transaction ids into the paper's three populations: global
+transactions :math:`\\mathcal{T}`, their compensating transactions
+:math:`\\mathcal{CT}`, and local transactions :math:`\\mathcal{L}`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import HistoryError
+from repro.sg.conflicts import OpKind, Operation
+
+
+@dataclass
+class SiteHistory:
+    """The complete history of one site."""
+
+    site_id: str
+    ops: list[Operation] = field(default_factory=list)
+    committed: set[str] = field(default_factory=set)
+    aborted: set[str] = field(default_factory=set)
+
+    def _append(self, txn_id: str, kind: OpKind, key: str) -> Operation:
+        if txn_id in self.committed or txn_id in self.aborted:
+            raise HistoryError(
+                f"{txn_id} already terminated at {self.site_id}"
+            )
+        op = Operation(
+            txn_id=txn_id, kind=kind, key=key, site=self.site_id,
+            seq=len(self.ops),
+        )
+        self.ops.append(op)
+        return op
+
+    def read(self, txn_id: str, key: str) -> Operation:
+        """Record a read of ``key`` by ``txn_id``."""
+        return self._append(txn_id, OpKind.READ, key)
+
+    def write(self, txn_id: str, key: str) -> Operation:
+        """Record a write of ``key`` by ``txn_id``."""
+        return self._append(txn_id, OpKind.WRITE, key)
+
+    def commit(self, txn_id: str) -> None:
+        """Mark ``txn_id`` committed at this site."""
+        if txn_id in self.aborted:
+            raise HistoryError(f"{txn_id} already aborted at {self.site_id}")
+        self.committed.add(txn_id)
+
+    def abort(self, txn_id: str) -> None:
+        """Mark ``txn_id`` aborted at this site.
+
+        Aborted transactions' operations are excluded from the SG (their
+        effects were rolled back; the roll-back itself is modeled as a
+        degenerate compensating transaction when the transaction is global).
+        """
+        if txn_id in self.committed:
+            raise HistoryError(f"{txn_id} already committed at {self.site_id}")
+        self.aborted.add(txn_id)
+
+    def expunge(self, txn_id: str) -> None:
+        """Erase a rolled-back transaction's operations from the history.
+
+        Used for aborted *local* transactions and failed compensation
+        attempts: their effects were fully undone under their own locks
+        before exposure, and they are excluded from the SG in any case, so
+        removing the operations keeps the recorded history equal to the
+        committed-projection the SG layer consumes.  (Aborted *global*
+        transactions are never expunged — the paper's theory keeps them.)
+        """
+        if txn_id in self.committed:
+            raise HistoryError(f"{txn_id} committed at {self.site_id}")
+        self.ops = [op for op in self.ops if op.txn_id != txn_id]
+        self.aborted.discard(txn_id)
+
+    # -- derived relations ----------------------------------------------------
+
+    def transactions(self) -> set[str]:
+        """All transaction ids with at least one operation here."""
+        return {op.txn_id for op in self.ops}
+
+    def ops_of(self, txn_id: str) -> list[Operation]:
+        """Operations of one transaction, in history order."""
+        return [op for op in self.ops if op.txn_id == txn_id]
+
+    def reads_from(self) -> list[tuple[str, str, str]]:
+        """The reads-from relation: (reader, writer, key) triples.
+
+        Reader R reads key k from writer W when W's write is the latest
+        write of k preceding R's read.  Operations of aborted transactions
+        are ignored (their updates were undone before exposure under strict
+        2PL).
+        """
+        result: list[tuple[str, str, str]] = []
+        last_writer: dict[str, str] = {}
+        for op in self.ops:
+            if op.txn_id in self.aborted:
+                continue
+            if op.kind is OpKind.WRITE:
+                last_writer[op.key] = op.txn_id
+            else:
+                writer = last_writer.get(op.key)
+                if writer is not None and writer != op.txn_id:
+                    result.append((op.txn_id, writer, op.key))
+        return result
+
+
+@dataclass
+class GlobalHistory:
+    """The multi-site history of one run."""
+
+    sites: dict[str, SiteHistory] = field(default_factory=dict)
+
+    def site(self, site_id: str) -> SiteHistory:
+        """Get or create the history of ``site_id``."""
+        if site_id not in self.sites:
+            self.sites[site_id] = SiteHistory(site_id)
+        return self.sites[site_id]
+
+    def transactions(self) -> set[str]:
+        """All transaction ids appearing anywhere."""
+        result: set[str] = set()
+        for history in self.sites.values():
+            result |= history.transactions()
+        return result
+
+    def sites_of(self, txn_id: str) -> list[str]:
+        """Sites where ``txn_id`` has at least one operation, sorted."""
+        return sorted(
+            site_id
+            for site_id, history in self.sites.items()
+            if txn_id in history.transactions()
+        )
+
+    def reads_from(self) -> list[tuple[str, str, str, str]]:
+        """Global reads-from: (reader, writer, key, site) tuples."""
+        result = []
+        for site_id in sorted(self.sites):
+            for reader, writer, key in self.sites[site_id].reads_from():
+                result.append((reader, writer, key, site_id))
+        return result

@@ -1,0 +1,85 @@
+"""Saving and loading histories as JSON.
+
+A recorded :class:`~repro.sg.history.GlobalHistory` is the complete input
+to the correctness machinery, so persisting one lets a violation found in a
+long run be re-analyzed (or attached to a bug report) without re-running
+the simulation.  The format is a plain JSON object:
+
+.. code-block:: json
+
+    {
+      "sites": {
+        "S1": {
+          "ops": [["T1", "w", "k0"], ["T2", "r", "k0"]],
+          "committed": ["T1", "T2"],
+          "aborted": []
+        }
+      }
+    }
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from repro.errors import HistoryError
+from repro.sg.conflicts import OpKind
+from repro.sg.history import GlobalHistory, SiteHistory
+
+
+def history_to_dict(history: GlobalHistory) -> dict[str, Any]:
+    """Plain-dict form of a global history (JSON-serializable)."""
+    return {
+        "sites": {
+            site_id: {
+                "ops": [
+                    [op.txn_id, op.kind.value, op.key]
+                    for op in site.ops
+                ],
+                "committed": sorted(site.committed),
+                "aborted": sorted(site.aborted),
+            }
+            for site_id, site in sorted(history.sites.items())
+        }
+    }
+
+
+def history_from_dict(data: dict[str, Any]) -> GlobalHistory:
+    """Rebuild a global history from :func:`history_to_dict` output."""
+    try:
+        sites_data = data["sites"]
+    except (KeyError, TypeError):
+        raise HistoryError("missing 'sites' object") from None
+    history = GlobalHistory()
+    for site_id, site_data in sites_data.items():
+        site = SiteHistory(site_id)
+        for entry in site_data.get("ops", []):
+            try:
+                txn_id, kind, key = entry
+            except (TypeError, ValueError):
+                raise HistoryError(f"malformed op entry {entry!r}") from None
+            if kind == OpKind.READ.value:
+                site.read(txn_id, key)
+            elif kind == OpKind.WRITE.value:
+                site.write(txn_id, key)
+            else:
+                raise HistoryError(f"unknown op kind {kind!r}")
+        for txn_id in site_data.get("committed", []):
+            site.commit(txn_id)
+        for txn_id in site_data.get("aborted", []):
+            site.abort(txn_id)
+        history.sites[site_id] = site
+    return history
+
+
+def dump_history(history: GlobalHistory, path: str) -> None:
+    """Write a history to ``path`` as JSON."""
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(history_to_dict(history), handle, indent=1)
+
+
+def load_history(path: str) -> GlobalHistory:
+    """Read a history written by :func:`dump_history`."""
+    with open(path, encoding="utf-8") as handle:
+        return history_from_dict(json.load(handle))

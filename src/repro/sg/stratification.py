@@ -1,0 +1,194 @@
+"""Stratification machinery: ``active wrt``, A1–A4, S1/S2, C1/C2.
+
+These are the paper's Section 5 predicates, implemented literally over a
+:class:`~repro.sg.graph.GlobalSG`:
+
+* :func:`active_wrt` — ``T_i`` is *active with respect to* ``T_j`` iff some
+  local SG contains both, ``T_j → T_i`` is not in it, but a local path (in
+  either direction) connects ``CT_i`` and ``T_j`` there.
+* Predicates A1–A4 quantify over local SGs containing ``T_j`` (A1, A2) or
+  containing both ``T_j`` and ``T_i`` (A3, A4).
+* Stratification properties ``S1 = ∀ active pairs: A1 ∨ A4`` and
+  ``S2 = ∀ active pairs: A2 ∨ A3`` (Theorem 1: either one implies no regular
+  cycles).
+* Cycle conditions C1/C2 (Lemma 2: a regular cycle implies both; Lemma 3:
+  C1 ⇒ ¬S1 and C2 ⇒ ¬S2).
+
+"Without having ``T_i`` on that path" is interpreted as the existence of a
+local path avoiding the node ``T_i`` (endpoints excluded from avoidance).
+"""
+
+from __future__ import annotations
+
+from itertools import permutations
+
+from repro.ids import compensation_id
+from repro.sg.graph import GlobalSG, SG, TxnKind
+
+
+def _pairs(gsg: GlobalSG) -> list[tuple[str, str]]:
+    """All ordered pairs of distinct regular global transactions."""
+    regulars = sorted(gsg.nodes_of_kind(TxnKind.GLOBAL))
+    return list(permutations(regulars, 2))
+
+
+def active_wrt(gsg: GlobalSG, ti: str, tj: str) -> bool:
+    """True when ``ti`` is active with respect to ``tj``.
+
+    Definition (Section 5): there exists an ``SG_a`` where both transactions
+    appear, ``T_j → T_i`` is *not* in ``SG_a``, but there is a path (in
+    either direction) in ``SG_a`` between ``CT_i`` and ``T_j``.
+    """
+    cti = compensation_id(ti)
+    for site_id in gsg.sites_with(ti, tj):
+        sg = gsg.locals[site_id]
+        if sg.reachable(tj, ti):
+            continue
+        if sg.has_node(cti) and sg.connected_either_direction(cti, tj):
+            return True
+    return False
+
+
+# ---------------------------------------------------------------------------
+# Predicates A1-A4
+# ---------------------------------------------------------------------------
+
+
+def _sites_with_tj(gsg: GlobalSG, tj: str) -> list[SG]:
+    return [gsg.locals[s] for s in gsg.sites_with(tj)]
+
+
+def _sites_with_both(gsg: GlobalSG, ti: str, tj: str) -> list[SG]:
+    return [gsg.locals[s] for s in gsg.sites_with(ti, tj)]
+
+
+def predicate_a1(gsg: GlobalSG, ti: str, tj: str) -> bool:
+    """A1: at any ``SG_a`` where ``T_j`` appears, ``T_i → CT_i → T_j``."""
+    cti = compensation_id(ti)
+    for sg in _sites_with_tj(gsg, tj):
+        if not (sg.reachable(ti, cti) and sg.reachable(cti, tj)):
+            return False
+    return True
+
+
+def predicate_a2(gsg: GlobalSG, ti: str, tj: str) -> bool:
+    """A2: at any ``SG_a`` where ``T_j`` appears, ``T_j → CT_i`` without
+    having ``T_i`` on that path."""
+    cti = compensation_id(ti)
+    for sg in _sites_with_tj(gsg, tj):
+        if not sg.reachable(tj, cti, avoid=ti):
+            return False
+    return True
+
+
+def predicate_a3(gsg: GlobalSG, ti: str, tj: str) -> bool:
+    """A3: at any ``SG_a`` with both ``T_j`` and ``T_i``: a path between
+    ``T_j`` and either ``T_i`` or ``CT_i`` implies ``T_i → CT_i → T_j``
+    is in ``SG_a``."""
+    cti = compensation_id(ti)
+    for sg in _sites_with_both(gsg, ti, tj):
+        connected = sg.connected_either_direction(tj, ti) or (
+            sg.has_node(cti) and sg.connected_either_direction(tj, cti)
+        )
+        if connected and not (
+            sg.reachable(ti, cti) and sg.reachable(cti, tj)
+        ):
+            return False
+    return True
+
+
+def predicate_a4(gsg: GlobalSG, ti: str, tj: str) -> bool:
+    """A4: at any ``SG_a`` with both ``T_j`` and ``T_i``: a path between
+    ``T_j`` and ``CT_i`` must be the path ``T_j → CT_i`` without ``T_i``
+    on it."""
+    cti = compensation_id(ti)
+    for sg in _sites_with_both(gsg, ti, tj):
+        if not sg.has_node(cti):
+            continue
+        if sg.connected_either_direction(tj, cti):
+            if sg.reachable(cti, tj):
+                return False
+            if not sg.reachable(tj, cti, avoid=ti):
+                return False
+    return True
+
+
+# ---------------------------------------------------------------------------
+# Stratification properties S1 / S2
+# ---------------------------------------------------------------------------
+
+
+def stratification_s1(gsg: GlobalSG) -> bool:
+    """S1: for every active pair ``(T_i, T_j)``: A1 ∨ A4."""
+    return all(
+        predicate_a1(gsg, ti, tj) or predicate_a4(gsg, ti, tj)
+        for ti, tj in _pairs(gsg)
+        if active_wrt(gsg, ti, tj)
+    )
+
+
+def stratification_s2(gsg: GlobalSG) -> bool:
+    """S2: for every active pair ``(T_i, T_j)``: A2 ∨ A3."""
+    return all(
+        predicate_a2(gsg, ti, tj) or predicate_a3(gsg, ti, tj)
+        for ti, tj in _pairs(gsg)
+        if active_wrt(gsg, ti, tj)
+    )
+
+
+# ---------------------------------------------------------------------------
+# Cycle conditions C1 / C2 (Lemma 2)
+# ---------------------------------------------------------------------------
+
+
+def cycle_condition_c1(gsg: GlobalSG) -> bool:
+    """C1: ∃ distinct ``T_i``, ``T_j`` with ``CT_i → T_j`` at some ``SG_a``
+    and, at some other ``SG_b`` where ``T_j`` appears, either
+    ``T_j → CT_i`` or no local path between ``T_i`` and ``T_j``."""
+    for ti, tj in _pairs(gsg):
+        cti = compensation_id(ti)
+        sites_a = [
+            s for s in gsg.sites_with(tj)
+            if gsg.locals[s].has_node(cti)
+            and gsg.locals[s].reachable(cti, tj)
+        ]
+        if not sites_a:
+            continue
+        for site_b in gsg.sites_with(tj):
+            if site_b in sites_a:
+                continue
+            sg_b = gsg.locals[site_b]
+            if sg_b.has_node(cti) and sg_b.reachable(tj, cti):
+                return True
+            if not sg_b.has_node(ti) or not sg_b.connected_either_direction(
+                ti, tj
+            ):
+                return True
+    return False
+
+
+def cycle_condition_c2(gsg: GlobalSG) -> bool:
+    """C2: ∃ distinct ``T_i``, ``T_j`` with ``T_j → CT_i`` (avoiding
+    ``T_i``) at some ``SG_a`` and, at some other ``SG_b`` where ``T_j``
+    appears, either ``CT_i → T_j`` or no local path between ``T_i`` and
+    ``T_j``."""
+    for ti, tj in _pairs(gsg):
+        cti = compensation_id(ti)
+        sites_a = [
+            s for s in gsg.sites_with(tj)
+            if gsg.locals[s].has_node(cti)
+            and gsg.locals[s].reachable(tj, cti, avoid=ti)
+        ]
+        if not sites_a:
+            continue
+        for site_b in gsg.sites_with(tj):
+            if site_b in sites_a:
+                continue
+            sg_b = gsg.locals[site_b]
+            if sg_b.has_node(cti) and sg_b.reachable(cti, tj):
+                return True
+            if not sg_b.has_node(ti) or not sg_b.connected_either_direction(
+                ti, tj
+            ):
+                return True
+    return False

@@ -1,0 +1,139 @@
+"""The discrete-event simulation environment.
+
+:class:`Environment` owns the virtual clock and the event queue.  Events are
+ordered by ``(time, priority, sequence)`` so that simultaneous events process
+in a deterministic order, and process resumptions (URGENT) run before ordinary
+events scheduled at the same instant.
+"""
+
+from __future__ import annotations
+
+import heapq
+from itertools import count
+from typing import Any, Generator
+
+from repro.errors import SimulationDeadlock
+from repro.sim.events import AllOf, AnyOf, Event, NORMAL, Timeout
+from repro.sim.process import Process
+
+
+class Environment:
+    """Execution environment for a single simulation run."""
+
+    def __init__(self, initial_time: float = 0.0) -> None:
+        self._now = float(initial_time)
+        self._queue: list[tuple[float, int, int, Event]] = []
+        self._eid = count()
+        self._active_process: Process | None = None
+
+    # -- clock & introspection ---------------------------------------------
+
+    @property
+    def now(self) -> float:
+        """Current simulation time."""
+        return self._now
+
+    @property
+    def active_process(self) -> Process | None:
+        """The process currently being stepped (None between steps)."""
+        return self._active_process
+
+    def peek(self) -> float:
+        """Time of the next scheduled event, or ``inf`` if the queue is empty."""
+        return self._queue[0][0] if self._queue else float("inf")
+
+    # -- scheduling ----------------------------------------------------------
+
+    def schedule(
+        self, event: Event, priority: int = NORMAL, delay: float = 0.0
+    ) -> None:
+        """Enqueue ``event`` to be processed ``delay`` time units from now."""
+        heapq.heappush(
+            self._queue, (self._now + delay, priority, next(self._eid), event)
+        )
+
+    # -- factories -----------------------------------------------------------
+
+    def event(self) -> Event:
+        """Create a new pending event."""
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """Create an event that triggers after ``delay`` time units."""
+        return Timeout(self, delay, value)
+
+    def process(
+        self, generator: Generator[Event, Any, Any], name: str | None = None
+    ) -> Process:
+        """Start a new process running ``generator``."""
+        return Process(self, generator, name=name)
+
+    def all_of(self, events: list[Event]) -> AllOf:
+        """Event that triggers when all of ``events`` have triggered."""
+        return AllOf(self, events)
+
+    def any_of(self, events: list[Event]) -> AnyOf:
+        """Event that triggers when any of ``events`` triggers."""
+        return AnyOf(self, events)
+
+    # -- execution -------------------------------------------------------------
+
+    def step(self) -> None:
+        """Process the single next event.
+
+        Raises :class:`SimulationDeadlock` if the queue is empty, and re-raises
+        an event's failure if the event failed and nothing was waiting on it
+        (so programming errors inside processes surface instead of vanishing).
+        """
+        if not self._queue:
+            raise SimulationDeadlock("no scheduled events")
+        self._now, _, _, event = heapq.heappop(self._queue)
+
+        callbacks, event.callbacks = event.callbacks, None
+        if callbacks is None:  # pragma: no cover - double-processing guard
+            raise RuntimeError(f"{event!r} processed twice")
+        for callback in callbacks:
+            callback(event)
+
+        if not event._ok and not event.defused:
+            # Unhandled failure: a process crashed and nobody was watching.
+            raise event._value
+
+    def run(self, until: float | Event | None = None) -> Any:
+        """Run the simulation.
+
+        ``until`` may be:
+
+        * ``None`` — run until the event queue drains;
+        * a number — run until the clock reaches that time;
+        * an :class:`Event` — run until that event is processed, returning its
+          value (or raising its failure).
+        """
+        if until is None:
+            while self._queue:
+                self.step()
+            return None
+
+        if isinstance(until, Event):
+            stop = until
+            while not stop.processed:
+                if not self._queue:
+                    raise SimulationDeadlock(
+                        f"event queue drained before {stop!r} triggered"
+                    )
+                self.step()
+            if stop._ok:
+                return stop._value
+            stop.defused = True
+            raise stop._value
+
+        deadline = float(until)
+        if deadline < self._now:
+            raise ValueError(f"until={deadline} is in the past (now={self._now})")
+        while self._queue and self._queue[0][0] <= deadline:
+            self.step()
+        self._now = max(self._now, deadline)
+        return None
+
+    def __repr__(self) -> str:
+        return f"<Environment now={self._now} queued={len(self._queue)}>"

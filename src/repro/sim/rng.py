@@ -1,0 +1,124 @@
+"""Seeded random-number utilities for simulations and workloads.
+
+A thin wrapper over :class:`random.Random` adding the distributions used by
+the workload generators and the network latency models.  Keeping one ``Rng``
+per simulation run (or one per named stream, via :meth:`fork`) makes every
+experiment reproducible from its seed.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import Sequence, TypeVar
+
+T = TypeVar("T")
+
+
+class Rng:
+    """Deterministic random source with simulation-oriented helpers."""
+
+    def __init__(self, seed: int | None = 0) -> None:
+        self.seed = seed
+        self._random = random.Random(seed)
+
+    def fork(self, stream: str) -> "Rng":
+        """Return an independent, deterministic sub-stream.
+
+        Two forks with the same parent seed and stream name always produce
+        the same sequence, regardless of how much the parent was consumed —
+        and regardless of the process: the sub-seed comes from a stable
+        digest, not Python's per-process string hash.
+        """
+        import hashlib
+
+        digest = hashlib.sha256(f"{self.seed}:{stream}".encode()).digest()
+        sub_seed = int.from_bytes(digest[:4], "big") & 0x7FFFFFFF
+        return Rng(sub_seed)
+
+    # -- basic draws ---------------------------------------------------------
+
+    def uniform(self, low: float, high: float) -> float:
+        """Uniform draw on [low, high]."""
+        return self._random.uniform(low, high)
+
+    def randint(self, low: int, high: int) -> int:
+        """Uniform integer on [low, high] inclusive."""
+        return self._random.randint(low, high)
+
+    def random(self) -> float:
+        """Uniform draw on [0, 1)."""
+        return self._random.random()
+
+    def chance(self, probability: float) -> bool:
+        """Bernoulli draw: True with the given probability."""
+        if not 0.0 <= probability <= 1.0:
+            raise ValueError(f"probability {probability} outside [0, 1]")
+        return self._random.random() < probability
+
+    def choice(self, items: Sequence[T]) -> T:
+        """Uniform choice from a non-empty sequence."""
+        return self._random.choice(items)
+
+    def sample(self, items: Sequence[T], k: int) -> list[T]:
+        """k distinct items drawn uniformly without replacement."""
+        return self._random.sample(items, k)
+
+    def shuffle(self, items: list[T]) -> list[T]:
+        """Shuffle ``items`` in place and return it."""
+        self._random.shuffle(items)
+        return items
+
+    # -- simulation distributions ---------------------------------------------
+
+    def exponential(self, mean: float) -> float:
+        """Exponential draw with the given mean (inter-arrival times)."""
+        if mean <= 0:
+            raise ValueError(f"mean {mean} must be positive")
+        return self._random.expovariate(1.0 / mean)
+
+    def normal(self, mu: float, sigma: float, minimum: float = 0.0) -> float:
+        """Normal draw truncated below at ``minimum`` (latency jitter)."""
+        return max(minimum, self._random.gauss(mu, sigma))
+
+    def zipf_index(self, n: int, theta: float = 0.99) -> int:
+        """Draw an index in [0, n) under a Zipf-like skew.
+
+        ``theta`` = 0 degenerates to uniform; larger values skew access toward
+        low indices.  Uses the standard inverse-CDF construction over the
+        generalized harmonic numbers, cached per (n, theta).
+        """
+        if n <= 0:
+            raise ValueError("n must be positive")
+        if theta == 0.0:
+            return self._random.randrange(n)
+        cdf = self._zipf_cdf(n, theta)
+        u = self._random.random()
+        # Binary search for the first cdf entry >= u.
+        lo, hi = 0, n - 1
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if cdf[mid] >= u:
+                hi = mid
+            else:
+                lo = mid + 1
+        return lo
+
+    _zipf_cache: dict[tuple[int, float], list[float]] = {}
+
+    @classmethod
+    def _zipf_cdf(cls, n: int, theta: float) -> list[float]:
+        key = (n, theta)
+        cached = cls._zipf_cache.get(key)
+        if cached is not None:
+            return cached
+        weights = [1.0 / math.pow(i + 1, theta) for i in range(n)]
+        total = sum(weights)
+        acc = 0.0
+        cdf = []
+        for w in weights:
+            acc += w / total
+            cdf.append(acc)
+        cdf[-1] = 1.0
+        cls._zipf_cache[key] = cdf
+        return cdf

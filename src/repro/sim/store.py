@@ -1,0 +1,77 @@
+"""FIFO store: the producer/consumer channel used for site inboxes.
+
+``put`` never blocks (stores are unbounded); ``get`` returns an event that
+triggers with the oldest item as soon as one is available.  Delivery order is
+strictly FIFO for both items and waiting getters, which keeps message
+processing deterministic.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import TYPE_CHECKING, Any
+
+from repro.sim.events import Event
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.engine import Environment
+
+
+class Store:
+    """Unbounded FIFO channel of items."""
+
+    def __init__(self, env: "Environment", name: str = "store") -> None:
+        self.env = env
+        self.name = name
+        self._items: deque[Any] = deque()
+        self._getters: deque[Event] = deque()
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    @property
+    def items(self) -> list[Any]:
+        """Snapshot of queued items (oldest first)."""
+        return list(self._items)
+
+    def put(self, item: Any) -> None:
+        """Add ``item``; wakes the oldest waiting getter, if any."""
+        # Skip over getters that were cancelled/triggered elsewhere.
+        while self._getters:
+            getter = self._getters.popleft()
+            if not getter.triggered:
+                getter.succeed(item)
+                return
+        self._items.append(item)
+
+    def get(self) -> Event:
+        """Return an event that triggers with the next item."""
+        event = Event(self.env)
+        if self._items:
+            event.succeed(self._items.popleft())
+        else:
+            self._getters.append(event)
+        return event
+
+    def cancel_get(self, event: Event) -> None:
+        """Withdraw a waiting getter (e.g. after losing a timeout race).
+
+        A triggered getter cannot be withdrawn — it already consumed an
+        item; callers must check ``event.triggered`` first.
+        """
+        try:
+            self._getters.remove(event)
+        except ValueError:
+            pass
+
+    def clear(self) -> list[Any]:
+        """Drop and return all queued items (used on site crash)."""
+        dropped = list(self._items)
+        self._items.clear()
+        return dropped
+
+    def __repr__(self) -> str:
+        return (
+            f"<Store {self.name!r} items={len(self._items)} "
+            f"waiting={len(self._getters)}>"
+        )

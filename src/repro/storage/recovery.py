@@ -1,0 +1,148 @@
+"""Recovery: transaction rollback and crash-restart replay.
+
+Two operations:
+
+* :meth:`RecoveryManager.rollback` — undo one in-flight transaction from its
+  log chain (before-images, newest first).  This is the paper's "standard
+  roll-back recovery" used at sites that vote NO, and is modeled in the
+  serialization-graph layer as a degenerate compensating subtransaction
+  (Section 3.2).
+
+* :meth:`RecoveryManager.restart` — rebuild the volatile store after a crash:
+  redo every update of a transaction that reached COMMIT or LOCAL_COMMIT
+  (an O2PC local commit exposes updates, so they must survive a crash), then
+  undo every update of a transaction that did not.  Prepared-but-undecided
+  transactions are reported to the caller: under standard 2PC they must stay
+  blocked; under O2PC they do not exist (a YES vote locally commits).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import RecoveryError
+from repro.storage.kvstore import KVStore
+from repro.storage.wal import RecordType, WriteAheadLog
+
+
+@dataclass
+class RestartReport:
+    """Outcome of a crash-restart recovery pass."""
+
+    redone: list[str] = field(default_factory=list)
+    undone: list[str] = field(default_factory=list)
+    #: prepared (voted YES, no decision logged) — blocked under standard 2PC
+    in_doubt: list[str] = field(default_factory=list)
+    #: locally committed under O2PC with no decision — await decision, and
+    #: compensate (not undo) if the decision turns out to be ABORT
+    locally_committed: list[str] = field(default_factory=list)
+
+
+class RecoveryManager:
+    """Undo/redo engine over one site's store and log."""
+
+    def __init__(self, store: KVStore, wal: WriteAheadLog) -> None:
+        self.store = store
+        self.wal = wal
+
+    # -- transaction rollback -----------------------------------------------
+
+    def rollback(self, txn_id: str) -> int:
+        """Undo ``txn_id``'s updates from the log; returns #updates undone.
+
+        Must not be called for a transaction that already terminated or that
+        locally committed (those need compensation, not state-based undo).
+        """
+        status = self.wal.status_of(txn_id)
+        if status in (RecordType.COMMIT, RecordType.ABORT):
+            raise RecoveryError(
+                f"cannot roll back terminated transaction {txn_id}"
+            )
+        if status is RecordType.LOCAL_COMMIT:
+            raise RecoveryError(
+                f"{txn_id} locally committed: requires compensation, not undo"
+            )
+        updates = self.wal.updates_for(txn_id)
+        for record in reversed(updates):
+            assert record.key is not None
+            self.store.apply_image(record.key, record.before)
+        self.wal.append(RecordType.ABORT, txn_id, force=True)
+        return len(updates)
+
+    # -- crash restart ------------------------------------------------------
+
+    def restart(self) -> RestartReport:
+        """Rebuild the (wiped) store from the log.
+
+        The caller is expected to have invoked :meth:`KVStore.wipe` (or the
+        failure injector did).  Replays in LSN order: redo updates of
+        transactions whose outcome is COMMIT or LOCAL_COMMIT; undo the rest;
+        classify undecided prepared transactions as in-doubt.
+        """
+        report = RestartReport()
+        # Start from the latest checkpoint, if any: restore its snapshot
+        # and replay only the suffix.  Site.checkpoint only takes
+        # *quiescent* checkpoints (no transactions in flight), so the
+        # snapshot is transaction-consistent and the suffix contains every
+        # record of every transaction it mentions.
+        checkpoint = self.wal.last_checkpoint()
+        start_lsn = 0
+        if checkpoint is not None:
+            self.store.restore(checkpoint.payload["snapshot"])
+            start_lsn = checkpoint.lsn
+
+        suffix = [r for r in self.wal if r.lsn > start_lsn]
+        outcomes: dict[str, RecordType] = {}
+        for record in suffix:
+            if record.record_type in (
+                RecordType.COMMIT,
+                RecordType.ABORT,
+                RecordType.LOCAL_COMMIT,
+                RecordType.PREPARE,
+                RecordType.BEGIN,
+            ):
+                outcomes[record.txn_id] = self._stronger(
+                    outcomes.get(record.txn_id), record.record_type
+                )
+
+        # Redo phase: replay after-images of winners in LSN order.
+        winners = {
+            t for t, o in outcomes.items()
+            if o in (RecordType.COMMIT, RecordType.LOCAL_COMMIT)
+        }
+        for record in suffix:
+            if (
+                record.record_type is RecordType.UPDATE
+                and record.txn_id in winners
+            ):
+                assert record.key is not None
+                self.store.apply_image(record.key, record.after)
+
+        for txn_id, outcome in outcomes.items():
+            if outcome is RecordType.COMMIT:
+                report.redone.append(txn_id)
+            elif outcome is RecordType.LOCAL_COMMIT:
+                report.redone.append(txn_id)
+                report.locally_committed.append(txn_id)
+            elif outcome is RecordType.PREPARE:
+                report.in_doubt.append(txn_id)
+            elif outcome is RecordType.BEGIN:
+                # Losers: nothing was redone, and the wiped store already
+                # reflects "never happened"; log the abort for completeness.
+                self.wal.append(RecordType.ABORT, txn_id, force=True)
+                report.undone.append(txn_id)
+        return report
+
+    @staticmethod
+    def _stronger(current: RecordType | None, new: RecordType) -> RecordType:
+        """Pick the more decisive of two per-transaction record types."""
+        order = {
+            RecordType.BEGIN: 0,
+            RecordType.PREPARE: 1,
+            RecordType.LOCAL_COMMIT: 2,
+            RecordType.ABORT: 3,
+            RecordType.COMMIT: 3,
+        }
+        if current is None or order[new] >= order[current]:
+            return new
+        return current

@@ -1,0 +1,250 @@
+"""Write-ahead log with undo/redo records.
+
+The log is the site's durable state: it survives crashes (the KV store does
+not).  Records carry before- and after-images, so the recovery manager can
+undo (transaction rollback, the paper's "standard roll-back recovery") and
+redo (crash restart) any update.
+
+2PC durability points are modeled faithfully with dedicated record types:
+a participant force-writes ``PREPARE`` before voting YES, the coordinator
+force-writes ``DECIDE`` before sending its decision, and ``COMMIT``/``ABORT``
+mark local transaction termination.  O2PC participants write
+``LOCAL_COMMIT`` when they release locks early (Section 2), which is what a
+recovering site uses to know compensation — not state-based undo — is the
+only way to revoke the transaction.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Iterator
+
+from repro.errors import WALError
+
+
+class RecordType(enum.Enum):
+    """Kinds of log records."""
+
+    BEGIN = "BEGIN"
+    UPDATE = "UPDATE"
+    #: participant is prepared (voted YES) — 2PC durability point
+    PREPARE = "PREPARE"
+    #: participant locally committed under O2PC (locks released early)
+    LOCAL_COMMIT = "LOCAL_COMMIT"
+    #: coordinator decision record
+    DECIDE = "DECIDE"
+    COMMIT = "COMMIT"
+    ABORT = "ABORT"
+    #: compensation completed for the given transaction
+    COMPENSATION = "COMPENSATION"
+    CHECKPOINT = "CHECKPOINT"
+
+
+#: record types that terminate a transaction locally
+_TERMINAL = {RecordType.COMMIT, RecordType.ABORT}
+
+
+@dataclass
+class LogRecord:
+    """One entry in the write-ahead log."""
+
+    lsn: int
+    record_type: RecordType
+    txn_id: str
+    key: str | None = None
+    before: Any = None
+    after: Any = None
+    #: LSN of this transaction's previous record (backward chain for undo)
+    prev_lsn: int | None = None
+    payload: dict[str, Any] = field(default_factory=dict)
+
+    def __repr__(self) -> str:
+        core = f"LSN={self.lsn} {self.record_type.value} txn={self.txn_id}"
+        if self.record_type is RecordType.UPDATE:
+            core += f" key={self.key} {self.before!r}->{self.after!r}"
+        return f"<{core}>"
+
+
+class WriteAheadLog:
+    """Append-only log for one site.
+
+    The log also maintains the per-transaction backward chain (``prev_lsn``)
+    and an index of each transaction's records so rollback does not scan the
+    whole log.
+    """
+
+    def __init__(self, site_id: str = "site") -> None:
+        self.site_id = site_id
+        self._records: list[LogRecord] = []
+        self._lsn = itertools.count(1)
+        #: LSN of the first retained record minus one (grows on truncation)
+        self._base = 0
+        #: last LSN per transaction (head of the undo chain)
+        self._last_lsn: dict[str, int] = {}
+        #: force-write counter (metrics: 2PC forced log writes are the
+        #: protocol's durability cost)
+        self.forced_writes = 0
+
+    # -- append -----------------------------------------------------------------
+
+    def append(
+        self,
+        record_type: RecordType,
+        txn_id: str,
+        key: str | None = None,
+        before: Any = None,
+        after: Any = None,
+        force: bool = False,
+        **payload: Any,
+    ) -> LogRecord:
+        """Append a record; returns it.
+
+        ``force=True`` models a forced (synchronous) log write; it only bumps
+        the ``forced_writes`` counter since the simulated log is always
+        durable.
+        """
+        record = LogRecord(
+            lsn=next(self._lsn),
+            record_type=record_type,
+            txn_id=txn_id,
+            key=key,
+            before=before,
+            after=after,
+            prev_lsn=self._last_lsn.get(txn_id),
+            payload=dict(payload),
+        )
+        self._records.append(record)
+        self._last_lsn[txn_id] = record.lsn
+        if force:
+            self.forced_writes += 1
+        return record
+
+    # -- reading -------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self) -> Iterator[LogRecord]:
+        return iter(self._records)
+
+    def record_at(self, lsn: int) -> LogRecord:
+        """The record with the given LSN (dense; truncation shifts the base)."""
+        index = lsn - 1 - self._base
+        if not 0 <= index < len(self._records):
+            raise WALError(f"no record with LSN {lsn}")
+        record = self._records[index]
+        if record.lsn != lsn:  # pragma: no cover - integrity guard
+            raise WALError(f"log corrupted at LSN {lsn}")
+        return record
+
+    # -- checkpointing -----------------------------------------------------------
+
+    def checkpoint(self, snapshot: dict[str, Any], active: list[str]) -> LogRecord:
+        """Append a CHECKPOINT record carrying a store snapshot.
+
+        ``active`` lists the transactions in flight at checkpoint time;
+        truncation is only legal at a *quiescent* checkpoint (empty
+        ``active``), because truncating under it would sever live undo
+        chains.
+        """
+        return self.append(
+            RecordType.CHECKPOINT, txn_id="__checkpoint__", force=True,
+            snapshot=dict(snapshot), active=list(active),
+        )
+
+    def last_checkpoint(self) -> LogRecord | None:
+        """The most recent CHECKPOINT record still in the log, or None."""
+        for record in reversed(self._records):
+            if record.record_type is RecordType.CHECKPOINT:
+                return record
+        return None
+
+    def truncate_at_checkpoint(self) -> int:
+        """Drop every record before the latest quiescent checkpoint.
+
+        Returns the number of records dropped.  Raises
+        :class:`~repro.errors.WALError` if there is no checkpoint or the
+        latest one was taken with transactions in flight (their undo
+        chains would be severed).
+        """
+        checkpoint = self.last_checkpoint()
+        if checkpoint is None:
+            raise WALError("no checkpoint to truncate at")
+        if checkpoint.payload.get("active"):
+            raise WALError(
+                "latest checkpoint is not quiescent: "
+                f"{checkpoint.payload['active']}"
+            )
+        index = checkpoint.lsn - 1 - self._base
+        dropped = self._records[:index]
+        self._records = self._records[index:]
+        self._base = checkpoint.lsn - 1
+        # Per-transaction chains of dropped (terminated) transactions are
+        # gone; purge stale heads so records_for() stops at the cut.
+        dropped_lsns = {record.lsn for record in dropped}
+        self._last_lsn = {
+            txn: lsn for txn, lsn in self._last_lsn.items()
+            if lsn not in dropped_lsns
+        }
+        for record in self._records:
+            if record.prev_lsn is not None and record.prev_lsn <= self._base:
+                record.prev_lsn = None
+        return len(dropped)
+
+    def records_for(self, txn_id: str) -> list[LogRecord]:
+        """All records of one transaction, oldest first."""
+        chain: list[LogRecord] = []
+        lsn = self._last_lsn.get(txn_id)
+        while lsn is not None:
+            record = self.record_at(lsn)
+            chain.append(record)
+            lsn = record.prev_lsn
+        chain.reverse()
+        return chain
+
+    def updates_for(self, txn_id: str) -> list[LogRecord]:
+        """Only the UPDATE records of one transaction, oldest first."""
+        return [
+            r for r in self.records_for(txn_id)
+            if r.record_type is RecordType.UPDATE
+        ]
+
+    def status_of(self, txn_id: str) -> RecordType | None:
+        """The most decisive record type logged for ``txn_id``.
+
+        Returns COMMIT/ABORT if terminated, else LOCAL_COMMIT if locally
+        committed, else PREPARE if prepared, else BEGIN if started, else
+        None if unknown at this site.
+        """
+        seen: set[RecordType] = {
+            r.record_type for r in self.records_for(txn_id)
+        }
+        for decisive in (
+            RecordType.COMMIT,
+            RecordType.ABORT,
+            RecordType.LOCAL_COMMIT,
+            RecordType.PREPARE,
+            RecordType.BEGIN,
+        ):
+            if decisive in seen:
+                return decisive
+        return None
+
+    def is_terminated(self, txn_id: str) -> bool:
+        """True if a COMMIT or ABORT record exists for ``txn_id``."""
+        return any(
+            r.record_type in _TERMINAL for r in self.records_for(txn_id)
+        )
+
+    def active_transactions(self) -> list[str]:
+        """Transactions with a BEGIN but no terminal record (oldest first)."""
+        begun: list[str] = []
+        terminated: set[str] = set()
+        for record in self._records:
+            if record.record_type is RecordType.BEGIN:
+                begun.append(record.txn_id)
+            elif record.record_type in _TERMINAL:
+                terminated.add(record.txn_id)
+        return [t for t in begun if t not in terminated]

@@ -1,0 +1,42 @@
+"""Transaction layer: operations, specs, sites, and transaction managers.
+
+The paper's two decomposition models (Section 3.1) are both supported:
+
+* **generic model** — subtransactions are arbitrary collections of
+  :class:`~repro.txn.operations.ReadOp` / :class:`~repro.txn.operations.WriteOp`
+  against local data;
+* **restricted model** — subtransactions are built from semantically coherent
+  :class:`~repro.txn.operations.SemanticOp` operations drawn from a
+  site-registered repertoire with known inverses (e.g. ``deposit`` /
+  ``withdraw``).
+
+A :class:`~repro.txn.site.Site` bundles one site's storage, locking, logging,
+recovery, and history recording; the
+:class:`~repro.txn.local_manager.LocalTransactionManager` executes local
+transactions and subtransactions against it under strict 2PL.
+"""
+
+from repro.txn.local_manager import LocalTransactionManager
+from repro.txn.operations import Op, ReadOp, SemanticOp, WriteOp
+from repro.txn.site import Site
+from repro.txn.transaction import (
+    GlobalTxnSpec,
+    SubtxnSpec,
+    TxnOutcome,
+    TxnStatus,
+    VotePolicy,
+)
+
+__all__ = [
+    "GlobalTxnSpec",
+    "LocalTransactionManager",
+    "Op",
+    "ReadOp",
+    "SemanticOp",
+    "Site",
+    "SubtxnSpec",
+    "TxnOutcome",
+    "TxnStatus",
+    "VotePolicy",
+    "WriteOp",
+]

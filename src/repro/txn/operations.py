@@ -1,0 +1,70 @@
+"""Database operations for both decomposition models.
+
+Generic model: :class:`ReadOp` and :class:`WriteOp` — arbitrary reads and
+writes with no predefined semantics.  Compensation for these falls back to
+installing before-images.
+
+Restricted model: :class:`SemanticOp` — a named operation from a site's
+registered repertoire (e.g. ``deposit``, ``insert``); the registry knows how
+to apply it and how to build its semantic inverse, so compensation is a
+counter-operation rather than a state restoration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Union
+
+
+@dataclass(frozen=True)
+class ReadOp:
+    """Read the value of ``key`` (shared lock)."""
+
+    key: str
+
+    def __repr__(self) -> str:
+        return f"r[{self.key}]"
+
+
+@dataclass(frozen=True)
+class WriteOp:
+    """Write ``value`` to ``key`` (exclusive lock)."""
+
+    key: str
+    value: Any = None
+
+    def __repr__(self) -> str:
+        return f"w[{self.key}={self.value!r}]"
+
+
+@dataclass(frozen=True)
+class SemanticOp:
+    """Apply the registered semantic operation ``name`` to ``key``.
+
+    Semantic operations read and update their data item (exclusive lock).
+    ``params`` are the operation's arguments (e.g. ``{"amount": 50}``).
+    """
+
+    name: str
+    key: str
+    params: dict[str, Any] = field(default_factory=dict)
+
+    def __hash__(self) -> int:  # params dict is unhashable; hash identity
+        return hash((self.name, self.key, tuple(sorted(self.params.items()))))
+
+    def __repr__(self) -> str:
+        args = ", ".join(f"{k}={v!r}" for k, v in sorted(self.params.items()))
+        return f"{self.name}[{self.key}]({args})"
+
+
+Op = Union[ReadOp, WriteOp, SemanticOp]
+
+
+def keys_of(ops: list[Op]) -> set[str]:
+    """All keys touched by a list of operations."""
+    return {op.key for op in ops}
+
+
+def is_read_only(ops: list[Op]) -> bool:
+    """True when every operation is a plain read."""
+    return all(isinstance(op, ReadOp) for op in ops)

@@ -1,0 +1,122 @@
+"""A site: one autonomous DBMS in the (multi)database system.
+
+``Site`` is a composition root bundling the storage engine, write-ahead log,
+lock manager, recovery manager, history recorder, and semantic-operation
+registry, plus the :class:`~repro.txn.local_manager.LocalTransactionManager`
+that executes transactions against them.
+
+Crash modeling: :meth:`crash` wipes volatile state (store contents, lock
+table, in-flight transactions); :meth:`restart` replays the WAL through the
+recovery manager.  The WAL itself survives — it is the durable state.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.locking.manager import LockManager
+from repro.sg.history import SiteHistory
+from repro.sim.engine import Environment
+from repro.storage.kvstore import KVStore
+from repro.storage.recovery import RecoveryManager, RestartReport
+from repro.storage.wal import WriteAheadLog
+
+if TYPE_CHECKING:  # pragma: no cover - cycle guard (compensation imports txn)
+    from repro.compensation.actions import ActionRegistry
+
+
+class Site:
+    """One site's full local database system."""
+
+    def __init__(
+        self,
+        env: Environment,
+        site_id: str,
+        registry: "ActionRegistry | None" = None,
+        enforce_2pl: bool = True,
+        op_duration: float = 0.0,
+        lock_timeout: float | None = None,
+    ) -> None:
+        # imported here to break the module cycle: the compensation package
+        # imports the txn package for operation types
+        from repro.compensation.actions import standard_registry
+        from repro.txn.local_manager import LocalTransactionManager
+
+        self.env = env
+        self.site_id = site_id
+        self.store = KVStore(site_id)
+        self.wal = WriteAheadLog(site_id)
+        self.locks = LockManager(
+            env, site_id, enforce_2pl=enforce_2pl,
+            lock_timeout=lock_timeout,
+        )
+        self.recovery = RecoveryManager(self.store, self.wal)
+        self.history = SiteHistory(site_id)
+        self.registry = registry or standard_registry()
+        #: simulated processing time per operation (after its lock is held)
+        self.op_duration = op_duration
+        #: name of the marking-set data item when a marking protocol is
+        #: active (None otherwise).  In ``lock_marks`` mode the R1 check
+        #: takes a real S lock on it and compensations write it as their
+        #: last action (rule R2) — the configuration behind the paper's
+        #: Section 6.2 deadlock remark.  The serialization-graph layer
+        #: always excludes this key (bookkeeping, not data; see
+        #: DESIGN.md §5.3b).
+        self.marks_key: str | None = None
+
+        self.ltm = LocalTransactionManager(self)
+        #: crash counter (metrics)
+        self.crash_count = 0
+
+    def load(self, data: dict[str, object]) -> None:
+        """Install initial database contents (not logged: pre-history state)."""
+        for key, value in data.items():
+            self.store.put(key, value)
+
+    def checkpoint(self) -> None:
+        """Take a quiescent checkpoint and truncate the log.
+
+        Only legal while no transaction is in flight at this site (their
+        undo chains would be severed by the truncation); raises
+        :class:`~repro.errors.WALError` otherwise.  After the call, crash
+        recovery starts from the snapshot instead of replaying history
+        from the beginning.
+        """
+        from repro.errors import WALError
+        from repro.txn.transaction import TxnStatus
+
+        in_flight = sorted(
+            txn for txn, status in self.ltm.status.items()
+            if status in (TxnStatus.ACTIVE, TxnStatus.PREPARED,
+                          TxnStatus.LOCALLY_COMMITTED)
+        )
+        if in_flight:
+            raise WALError(
+                f"checkpoint refused: transactions in flight {in_flight}"
+            )
+        self.wal.checkpoint(self.store.snapshot(), active=[])
+        self.wal.truncate_at_checkpoint()
+
+    def crash(self) -> None:
+        """Lose all volatile state: store contents and the lock table.
+
+        In-flight transactions are implicitly aborted; the WAL survives and
+        :meth:`restart` rebuilds from it.
+        """
+        self.crash_count += 1
+        self.store.wipe()
+        # The lock table is volatile: rebuild an empty one.  Pending lock
+        # waiters are abandoned (their processes are expected to be killed
+        # or to time out alongside the crash).
+        self.locks = LockManager(
+            self.env, self.site_id, enforce_2pl=self.locks.enforce_2pl,
+            lock_timeout=self.locks.lock_timeout,
+        )
+        self.ltm.abandon_all()
+
+    def restart(self) -> RestartReport:
+        """Run crash-restart recovery; returns the recovery report."""
+        return self.recovery.restart()
+
+    def __repr__(self) -> str:
+        return f"<Site {self.site_id}>"

@@ -1,0 +1,24 @@
+"""Workload generation: random transaction mixes and domain scenarios.
+
+:class:`~repro.workload.generator.WorkloadGenerator` produces reproducible
+streams of global (and local) transactions with controllable multi-site
+spread, read/write mix, access skew, and injected abort votes — the knobs
+the claims experiments sweep.  :mod:`repro.workload.scenarios` provides the
+domain workloads the paper's introduction motivates (banking transfers,
+competing travel-reservation agencies, inventory/ordering).
+"""
+
+from repro.workload.generator import WorkloadConfig, WorkloadGenerator
+from repro.workload.scenarios import (
+    banking_transfers,
+    inventory_orders,
+    travel_reservations,
+)
+
+__all__ = [
+    "WorkloadConfig",
+    "WorkloadGenerator",
+    "banking_transfers",
+    "inventory_orders",
+    "travel_reservations",
+]

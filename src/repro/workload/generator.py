@@ -1,0 +1,152 @@
+"""Random workload generation and driving.
+
+The generator builds transaction specs from a seeded RNG, so a workload is
+fully determined by ``(WorkloadConfig, seed)``; the driver submits them to a
+:class:`~repro.harness.system.System` with exponential inter-arrival times
+and runs the simulation to completion.
+
+Abort injection: with probability ``abort_probability`` a global transaction
+gets a ``FORCE_NO`` vote at one of its sites — the paper's "optimistic
+assumption" knob.  At 0 the assumption holds perfectly; raising it moves the
+system toward the regime where compensation overhead outweighs the early
+lock release (the crossover of experiment CLAIM-THRU).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.harness.system import System
+from repro.sim.rng import Rng
+from repro.txn.operations import Op, ReadOp, SemanticOp, WriteOp
+from repro.txn.transaction import GlobalTxnSpec, SubtxnSpec, VotePolicy
+
+
+@dataclass
+class WorkloadConfig:
+    """Knobs of a random workload."""
+
+    n_transactions: int = 50
+    #: inclusive range of sites per global transaction
+    min_sites: int = 2
+    max_sites: int = 3
+    #: inclusive range of operations per subtransaction
+    min_ops: int = 1
+    max_ops: int = 3
+    #: fraction of operations that are plain reads
+    read_fraction: float = 0.5
+    #: of the non-read ops, fraction using semantic operations
+    #: (restricted model) vs. plain writes (generic model)
+    semantic_fraction: float = 1.0
+    #: probability a transaction is forced to vote NO at one site
+    abort_probability: float = 0.0
+    #: mean exponential inter-arrival time between submissions
+    arrival_mean: float = 2.0
+    #: Zipf skew over keys (0 = uniform)
+    zipf_theta: float = 0.0
+    #: independent local transactions interleaved per global one
+    locals_per_global: float = 0.0
+    #: visit sites in a fixed (sorted) order — the classic resource-ordering
+    #: discipline that rules out cross-site deadlocks, isolating lock-wait
+    #: effects in experiments; set False to allow arbitrary orders
+    ordered_sites: bool = True
+
+
+class WorkloadGenerator:
+    """Builds and drives one workload against a system."""
+
+    def __init__(
+        self, system: System, config: WorkloadConfig | None = None,
+        seed: int = 1,
+    ) -> None:
+        self.system = system
+        self.config = config or WorkloadConfig()
+        self.rng = Rng(seed)
+        self._site_ids = sorted(system.sites)
+        self._n_keys = system.config.keys_per_site
+
+    # -- spec construction --------------------------------------------------------
+
+    def _pick_key(self) -> str:
+        index = self.rng.zipf_index(self._n_keys, self.config.zipf_theta)
+        return f"k{index}"
+
+    def _make_ops(self) -> list[Op]:
+        count = self.rng.randint(self.config.min_ops, self.config.max_ops)
+        ops: list[Op] = []
+        for _ in range(count):
+            key = self._pick_key()
+            if self.rng.chance(self.config.read_fraction):
+                ops.append(ReadOp(key))
+            elif self.rng.chance(self.config.semantic_fraction):
+                amount = self.rng.randint(1, 10)
+                name = self.rng.choice(["deposit", "withdraw"])
+                ops.append(SemanticOp(name, key, {"amount": amount}))
+            else:
+                ops.append(WriteOp(key, self.rng.randint(0, 10_000)))
+        return ops
+
+    def make_spec(self, txn_id: str) -> GlobalTxnSpec:
+        """Build one random global-transaction spec."""
+        n_sites = self.rng.randint(
+            self.config.min_sites,
+            min(self.config.max_sites, len(self._site_ids)),
+        )
+        sites = self.rng.sample(self._site_ids, n_sites)
+        if self.config.ordered_sites:
+            sites = sorted(sites)
+        subtxns = [
+            SubtxnSpec(site_id, self._make_ops()) for site_id in sites
+        ]
+        if self.config.abort_probability and self.rng.chance(
+            self.config.abort_probability
+        ):
+            victim = self.rng.randint(0, len(subtxns) - 1)
+            subtxns[victim].vote = VotePolicy.FORCE_NO
+        return GlobalTxnSpec(txn_id=txn_id, subtxns=subtxns)
+
+    def specs(self) -> list[GlobalTxnSpec]:
+        """All global-transaction specs of this workload."""
+        return [
+            self.make_spec(f"T{i}")
+            for i in range(1, self.config.n_transactions + 1)
+        ]
+
+    # -- driving ---------------------------------------------------------------------
+
+    def run(self) -> float:
+        """Submit the workload and run to completion.
+
+        Returns the simulation time at which the last transaction
+        terminated (for throughput computation).
+        """
+        env = self.system.env
+
+        def driver():
+            waiters = []
+            for spec in self.specs():
+                yield env.timeout(self.rng.exponential(self.config.arrival_mean))
+                waiters.append(self.system.submit(spec))
+                for _ in range(self._locals_to_spawn()):
+                    site_id = self.rng.choice(self._site_ids)
+                    self.system.run_local(
+                        site_id, self.system.next_local_id(),
+                        [SemanticOp(
+                            "deposit", self._pick_key(),
+                            {"amount": self.rng.randint(1, 5)},
+                        )],
+                    )
+            if waiters:
+                yield env.all_of(waiters)
+            return env.now
+
+        finished_at = env.run(env.process(driver(), name="workload"))
+        env.run()  # drain trailing compensations/acks
+        return finished_at
+
+    def _locals_to_spawn(self) -> int:
+        rate = self.config.locals_per_global
+        count = int(rate)
+        if self.rng.chance(rate - count):
+            count += 1
+        return count

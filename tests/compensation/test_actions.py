@@ -1,0 +1,89 @@
+"""Unit tests for the semantic-action registry."""
+
+import pytest
+
+from repro.compensation import ActionRegistry, SemanticAction, standard_registry
+from repro.errors import NotCompensatable
+from repro.txn import SemanticOp
+
+
+@pytest.fixture
+def registry():
+    return standard_registry()
+
+
+class TestStandardActions:
+    def test_deposit_withdraw_roundtrip(self, registry):
+        op = SemanticOp("deposit", "acct", {"amount": 30})
+        after = registry.apply(op, 100)
+        assert after == 130
+        inverse = registry.invert(op, 100)
+        assert inverse.name == "withdraw"
+        assert registry.apply(inverse, after) == 100
+
+    def test_deposit_on_missing_account_starts_at_zero(self, registry):
+        assert registry.apply(SemanticOp("deposit", "a", {"amount": 5}), None) == 5
+
+    def test_increment_decrement(self, registry):
+        inc = SemanticOp("increment", "c")
+        assert registry.apply(inc, 7) == 8
+        inv = registry.invert(inc, 7)
+        assert inv.name == "decrement"
+        assert registry.apply(inv, 8) == 7
+
+    def test_insert_delete_inverse_restores_value(self, registry):
+        ins = SemanticOp("insert", "row", {"value": {"name": "alice"}})
+        assert registry.apply(ins, None) == {"name": "alice"}
+        assert registry.invert(ins, None).name == "delete"
+        dele = SemanticOp("delete", "row")
+        assert registry.apply(dele, {"name": "alice"}) is None
+        undelete = registry.invert(dele, {"name": "alice"})
+        assert undelete.name == "insert"
+        assert undelete.params == {"value": {"name": "alice"}}
+
+    def test_set_inverse_uses_before_image(self, registry):
+        op = SemanticOp("set", "k", {"value": "new"})
+        inverse = registry.invert(op, "old")
+        assert inverse.name == "set"
+        assert inverse.params == {"value": "old"}
+
+    def test_reserve_cancel_with_count(self, registry):
+        op = SemanticOp("reserve", "flight", {"count": 3})
+        assert registry.apply(op, 10) == 13
+        inverse = registry.invert(op, 10)
+        assert (inverse.name, inverse.params) == ("cancel", {"count": 3})
+
+    def test_dispense_is_real_action(self, registry):
+        op = SemanticOp("dispense", "atm", {"amount": 100})
+        assert registry.apply(op, 500) == 400
+        assert not registry.is_compensatable(op)
+        with pytest.raises(NotCompensatable):
+            registry.invert(op, 500)
+
+
+class TestRegistry:
+    def test_unknown_action_raises(self, registry):
+        with pytest.raises(NotCompensatable):
+            registry.get("teleport")
+        assert not registry.known("teleport")
+
+    def test_custom_registration(self):
+        registry = ActionRegistry()
+        registry.register(SemanticAction(
+            name="double",
+            apply=lambda current: current * 2,
+            inverse=lambda params, before: ("halve", {}),
+        ))
+        registry.register(SemanticAction(
+            name="halve",
+            apply=lambda current: current // 2,
+            inverse=lambda params, before: ("double", {}),
+        ))
+        op = SemanticOp("double", "x")
+        assert registry.apply(op, 4) == 8
+        assert registry.invert(op, 4).name == "halve"
+
+    def test_semantic_op_hashable(self):
+        a = SemanticOp("deposit", "x", {"amount": 1})
+        b = SemanticOp("deposit", "x", {"amount": 1})
+        assert hash(a) == hash(b)

@@ -1,0 +1,129 @@
+"""Property-based tests: compensation invariants.
+
+* Semantic roundtrip: applying a forward operation and then its registered
+  inverse restores the original value, for every compensatable action and
+  any starting value.
+* Full-transaction roundtrip: locally commit a random update sequence, run
+  the compensation, and the written keys are back to their initial values —
+  even with unrelated intervening commits on *other* keys (semantic undo
+  does not clobber them).
+* Theorem 2's precondition: the compensation's write set always covers the
+  forward write set.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.compensation import CompensationExecutor, standard_registry
+from repro.sim import Environment
+from repro.txn import SemanticOp, Site, WriteOp
+
+
+AMOUNTS = st.integers(min_value=1, max_value=50)
+VALUES = st.integers(min_value=-1000, max_value=1000)
+
+semantic_op = st.one_of(
+    st.builds(
+        lambda k, a: SemanticOp("deposit", k, {"amount": a}),
+        st.sampled_from(["x", "y"]), AMOUNTS,
+    ),
+    st.builds(
+        lambda k, a: SemanticOp("withdraw", k, {"amount": a}),
+        st.sampled_from(["x", "y"]), AMOUNTS,
+    ),
+    st.builds(
+        lambda k: SemanticOp("increment", k), st.sampled_from(["x", "y"]),
+    ),
+    st.builds(
+        lambda k, c: SemanticOp("reserve", k, {"count": c}),
+        st.sampled_from(["x", "y"]), st.integers(min_value=1, max_value=5),
+    ),
+)
+
+any_op = st.one_of(
+    semantic_op,
+    st.builds(
+        lambda k, v: WriteOp(k, v), st.sampled_from(["x", "y", "z"]), VALUES,
+    ),
+)
+
+
+@settings(max_examples=200, deadline=None)
+@given(
+    st.sampled_from(["deposit", "withdraw", "increment", "decrement",
+                     "reserve", "cancel", "set", "insert"]),
+    VALUES,
+    AMOUNTS,
+)
+def test_semantic_roundtrip_single_op(name, start, amount):
+    registry = standard_registry()
+    params = {
+        "deposit": {"amount": amount}, "withdraw": {"amount": amount},
+        "reserve": {"count": amount}, "cancel": {"count": amount},
+        "set": {"value": amount}, "insert": {"value": amount},
+        "increment": {}, "decrement": {},
+    }[name]
+    op = SemanticOp(name, "k", params)
+    initial = None if name == "insert" else start
+    after = registry.apply(op, initial)
+    inverse = registry.invert(op, initial)
+    assert registry.apply(inverse, after) == initial
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    st.lists(any_op, min_size=1, max_size=8),
+    st.dictionaries(st.sampled_from(["x", "y", "z"]), VALUES, min_size=3),
+)
+def test_transaction_roundtrip_restores_written_keys(ops, initial):
+    env = Environment()
+    site = Site(env, "S1")
+    site.load(dict(initial))
+
+    def forward():
+        site.ltm.begin("T1")
+        yield from site.ltm.run_ops("T1", ops)
+        site.ltm.local_commit("T1")
+
+    env.run(env.process(forward()))
+    executor = CompensationExecutor(site)
+    written = {op.key for op in ops}
+    # Theorem 2 precondition: compensation writes cover forward writes.
+    assert {op.key for op in executor.build_ops("T1")} >= written
+    env.run(env.process(executor.run("T1")))
+    for key in written:
+        assert site.store.get_or(key) == initial.get(key), key
+    # Untouched keys untouched.
+    for key, value in initial.items():
+        if key not in written:
+            assert site.store.get(key) == value
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.lists(semantic_op, min_size=1, max_size=5), AMOUNTS)
+def test_semantic_compensation_preserves_interleaved_updates(ops, delta):
+    """A commutative update by another transaction between local commit and
+    compensation survives the semantic undo (the whole point of
+    compensation over state restoration)."""
+    env = Environment()
+    site = Site(env, "S1")
+    site.load({"x": 100, "y": 100})
+
+    def forward():
+        site.ltm.begin("T1")
+        yield from site.ltm.run_ops("T1", ops)
+        site.ltm.local_commit("T1")
+
+    env.run(env.process(forward()))
+
+    def bystander():
+        site.ltm.begin("L1")
+        yield from site.ltm.run_ops(
+            "L1", [SemanticOp("deposit", "x", {"amount": delta})]
+        )
+        site.ltm.commit("L1")
+
+    env.run(env.process(bystander()))
+    executor = CompensationExecutor(site)
+    env.run(env.process(executor.run("T1")))
+    assert site.store.get("x") == 100 + delta
+    assert site.store.get("y") == 100

@@ -1,0 +1,93 @@
+"""Unit tests for the Figure 2 marking state machine."""
+
+import pytest
+
+from repro.core import Marking, MarkingEvent, MarkingStateMachine
+from repro.core.marking import TRANSITIONS
+from repro.errors import ProtocolViolation
+
+
+@pytest.fixture
+def machine():
+    return MarkingStateMachine("S1")
+
+
+class TestLegalTransitions:
+    def test_initially_unmarked(self, machine):
+        assert machine.state("T1") is Marking.UNMARKED
+
+    def test_vote_commit_marks_locally_committed(self, machine):
+        assert machine.fire("T1", MarkingEvent.VOTE_COMMIT) is (
+            Marking.LOCALLY_COMMITTED
+        )
+        assert machine.locally_committed_set() == {"T1"}
+
+    def test_vote_abort_marks_undone(self, machine):
+        machine.fire("T1", MarkingEvent.VOTE_ABORT)
+        assert machine.state("T1") is Marking.UNDONE
+        assert machine.undone_set() == {"T1"}
+
+    def test_decision_commit_unmarks(self, machine):
+        machine.fire("T1", MarkingEvent.VOTE_COMMIT)
+        machine.fire("T1", MarkingEvent.DECISION_COMMIT)
+        assert machine.state("T1") is Marking.UNMARKED
+
+    def test_decision_abort_marks_undone(self, machine):
+        machine.fire("T1", MarkingEvent.VOTE_COMMIT)
+        machine.fire("T1", MarkingEvent.DECISION_ABORT)
+        assert machine.state("T1") is Marking.UNDONE
+
+    def test_udum_unmarks_undone(self, machine):
+        machine.fire("T1", MarkingEvent.VOTE_ABORT)
+        machine.fire("T1", MarkingEvent.UDUM)
+        assert machine.state("T1") is Marking.UNMARKED
+
+    def test_full_figure2_cycle(self, machine):
+        """unmarked -> LC -> undone -> unmarked -> LC -> unmarked."""
+        machine.fire("T1", MarkingEvent.VOTE_COMMIT)
+        machine.fire("T1", MarkingEvent.DECISION_ABORT)
+        machine.fire("T1", MarkingEvent.UDUM)
+        machine.fire("T1", MarkingEvent.VOTE_COMMIT)
+        machine.fire("T1", MarkingEvent.DECISION_COMMIT)
+        assert machine.state("T1") is Marking.UNMARKED
+        assert len(machine.transitions) == 5
+
+
+class TestIllegalTransitions:
+    @pytest.mark.parametrize("state,event", [
+        (Marking.UNMARKED, MarkingEvent.DECISION_COMMIT),
+        (Marking.UNMARKED, MarkingEvent.DECISION_ABORT),
+        (Marking.UNMARKED, MarkingEvent.UDUM),
+        (Marking.LOCALLY_COMMITTED, MarkingEvent.VOTE_COMMIT),
+        (Marking.LOCALLY_COMMITTED, MarkingEvent.VOTE_ABORT),
+        (Marking.LOCALLY_COMMITTED, MarkingEvent.UDUM),
+        (Marking.UNDONE, MarkingEvent.VOTE_COMMIT),
+        (Marking.UNDONE, MarkingEvent.VOTE_ABORT),
+        (Marking.UNDONE, MarkingEvent.DECISION_COMMIT),
+        (Marking.UNDONE, MarkingEvent.DECISION_ABORT),
+    ])
+    def test_illegal_pairs_raise(self, machine, state, event):
+        # Drive the machine into `state` first.
+        if state is Marking.LOCALLY_COMMITTED:
+            machine.fire("T1", MarkingEvent.VOTE_COMMIT)
+        elif state is Marking.UNDONE:
+            machine.fire("T1", MarkingEvent.VOTE_ABORT)
+        with pytest.raises(ProtocolViolation):
+            machine.fire("T1", event)
+
+    def test_transition_table_is_exactly_figure2(self):
+        """Figure 2 has exactly five edges; every other (state, event)
+        combination is illegal."""
+        assert len(TRANSITIONS) == 5
+        legal = set(TRANSITIONS)
+        total = len(Marking) * len(MarkingEvent)
+        assert total - len(legal) == 10
+
+
+class TestIndependencePerTransaction:
+    def test_markings_independent_across_transactions(self, machine):
+        machine.fire("T1", MarkingEvent.VOTE_ABORT)
+        machine.fire("T2", MarkingEvent.VOTE_COMMIT)
+        assert machine.undone_set() == {"T1"}
+        assert machine.locally_committed_set() == {"T2"}
+        assert machine.state("T3") is Marking.UNMARKED

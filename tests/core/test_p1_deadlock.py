@@ -1,0 +1,76 @@
+"""Integration: the marking-set deadlock of Section 6.2's remark.
+
+"Deadlocks may arise due to contention to the local marking sets.  For
+example, a transaction that read-locks ``sitemarks.k`` in order to perform
+the compatibility check, may be blocked while attempting to access a
+regular data item x that is locked by ``CT_ik``.  The compensating
+transaction, on the other hand, may be blocked too, holding a lock on x and
+attempting to access ``sitemarks.k``."
+
+With ``lock_marks=True`` (marking sets stored as lockable database items)
+the interleaving below produces exactly that deadlock; with the paper's
+"acceptable compromise" (``lock_marks=False``: check, unlock immediately,
+re-validate at vote) it cannot.
+"""
+
+from repro.commit import CommitScheme
+from repro.harness import System, SystemConfig
+from repro.txn import GlobalTxnSpec, ReadOp, SubtxnSpec, VotePolicy, WriteOp
+
+
+def build_and_run(lock_marks: bool):
+    system = System(SystemConfig(
+        scheme=CommitScheme.O2PC, protocol="P1", n_sites=3,
+        lock_marks=lock_marks, op_duration=1.0,
+    ))
+    # T1 writes k0 at S1 and S2; S2 votes NO, so CT1 must compensate k0 at
+    # S1 once the ABORT decision arrives — and, in lock_marks mode, write
+    # sitemarks at S1 as its last action.
+    system.submit(GlobalTxnSpec(txn_id="T1", subtxns=[
+        SubtxnSpec("S1", [WriteOp("k0", "T1")]),
+        SubtxnSpec("S2", [WriteOp("k0", "T1")], vote=VotePolicy.FORCE_NO),
+    ]))
+
+    # T2's subtransaction at S1 read-locks the marking set (R1 check) right
+    # away, then grinds through two unrelated reads before touching k0 —
+    # by which time CT1 holds k0 and is about to request the marking set.
+    def submit_t2():
+        yield system.env.timeout(7.5)
+        result = yield system.submit(GlobalTxnSpec(txn_id="T2", subtxns=[
+            SubtxnSpec("S1", [ReadOp("k1"), ReadOp("k2"), ReadOp("k0")]),
+            SubtxnSpec("S3", [ReadOp("k1")]),
+        ]))
+        return result
+
+    t2 = system.env.process(submit_t2())
+    system.env.run()
+    return system, t2.value
+
+
+def test_lock_marks_mode_deadlocks_between_check_and_compensation():
+    system, _ = build_and_run(lock_marks=True)
+    cycles = system.sites["S1"].locks.detector.detected
+    assert cycles, "expected the marking-set deadlock at S1"
+    assert any({"T2", "CT1"} <= set(c) for c in cycles)
+
+
+def test_compensation_survives_the_deadlock():
+    """Persistence of compensation: whatever the victim choice, CT1
+    eventually commits and k0 is restored."""
+    system, _ = build_and_run(lock_marks=True)
+    assert system.participants["S1"].compensator.stats.completed == 1
+    assert system.sites["S1"].store.get("k0") == 100
+    assert system.sites["S2"].store.get("k0") == 100
+
+
+def test_compromise_mode_avoids_the_deadlock():
+    system, outcome = build_and_run(lock_marks=False)
+    assert not system.sites["S1"].locks.detector.detected
+    assert outcome is not None
+    assert system.participants["S1"].compensator.stats.completed == 1
+
+
+def test_both_modes_preserve_correctness():
+    for lock_marks in (True, False):
+        system, _ = build_and_run(lock_marks=lock_marks)
+        system.check_correctness()

@@ -1,0 +1,180 @@
+"""Unit tests for P1/P2/SIMPLE marking protocols (no simulation)."""
+
+from repro.core import (
+    MarkingDirectory,
+    NoProtocol,
+    P1Protocol,
+    P2Protocol,
+    SimpleProtocol,
+)
+
+
+def p1_with_undone(site_marks: dict[str, set[str]]) -> P1Protocol:
+    """Build a P1 protocol with given undone marks installed."""
+    from repro.core.marking import MarkingEvent
+
+    protocol = P1Protocol(directory=MarkingDirectory())
+    for site, txns in site_marks.items():
+        for txn in txns:
+            protocol.directory.machine(site).fire(
+                txn, MarkingEvent.VOTE_ABORT
+            )
+    return protocol
+
+
+class TestNoProtocol:
+    def test_always_permissive(self):
+        protocol = NoProtocol()
+        assert protocol.check_spawn("T9", "S1", {"T1", "T2"}).ok
+        assert protocol.validate_at_vote("T9", "S1", {"T1"})
+        assert protocol.merge_marks("T9", "S1", set()) == set()
+
+
+class TestP1:
+    def test_spawn_ok_when_marks_subset(self):
+        protocol = p1_with_undone({"S1": {"T1"}, "S2": {"T1", "T5"}})
+        assert protocol.check_spawn("T9", "S2", {"T1"}).ok
+
+    def test_spawn_ok_with_no_transmarks(self):
+        protocol = p1_with_undone({"S1": {"T1"}})
+        # Picking up new marks is always allowed at spawn (the mirror
+        # check happens at vote time).
+        assert protocol.check_spawn("T9", "S1", set()).ok
+
+    def test_spawn_rejected_when_mark_missing(self):
+        protocol = p1_with_undone({"S1": {"T1"}})
+        protocol.register_execution("T1", ["S1", "S2"])
+        result = protocol.check_spawn("T9", "S2", {"T1"})
+        assert not result.ok
+        assert protocol.rejections == 1
+        assert result.retriable
+
+    def test_mark_binds_even_where_marked_txn_never_ran(self):
+        """P1(a) is strict: a transaction carrying T1's mark may only
+        touch sites undone with respect to T1 — even sites T1 never
+        executed at.  The strictness is necessary: a third transaction
+        can relay the inconsistency through a T1-free site and close a
+        regular cycle.  The rejection stays retriable because the
+        clearing rules (UDUM / quiescence) can dissolve the mark."""
+        protocol = p1_with_undone({"S1": {"T1"}})
+        protocol.register_execution("T1", ["S1"])
+        result = protocol.check_spawn("T9", "S3", {"T1"})
+        assert not result.ok
+        assert result.retriable
+        assert not protocol.validate_at_vote("T9", "S3", {"T1"})
+
+    def test_merge_returns_sitemarks(self):
+        protocol = p1_with_undone({"S1": {"T1", "T2"}})
+        assert protocol.merge_marks("T9", "S1", set()) == {"T1", "T2"}
+
+    def test_validate_at_vote_requires_binding_marks_present(self):
+        protocol = p1_with_undone({"S1": {"T1"}, "S2": set()})
+        protocol.register_execution("T1", ["S1", "S2"])
+        assert protocol.validate_at_vote("T9", "S1", {"T1"})
+        assert not protocol.validate_at_vote("T9", "S2", {"T1"})
+
+    def test_udum_cleared_marks_ignored(self):
+        protocol = p1_with_undone({"S1": {"T1"}})
+        protocol.register_execution("T1", ["S1"])
+        # A witness executes at S1 while undone wrt T1 -> UDUM1 -> R3.
+        protocol.on_executed("T7", "S1")
+        assert protocol.sitemarks("S1") == set()
+        # T9 still carries the stale mark; checks must tolerate it.
+        assert protocol.check_spawn("T9", "S2", {"T1"}).ok
+        assert protocol.validate_at_vote("T9", "S2", {"T1"})
+
+    def test_udum_requires_witness_at_every_exec_site(self):
+        protocol = p1_with_undone({"S1": {"T1"}, "S2": {"T1"}})
+        protocol.register_execution("T1", ["S1", "S2"])
+        protocol.on_executed("T7", "S1")
+        assert protocol.sitemarks("S1") == {"T1"}  # S2 lacks a witness
+        protocol.on_executed("T8", "S2")
+        assert protocol.sitemarks("S1") == set()
+        assert protocol.sitemarks("S2") == set()
+        assert protocol.directory.udum_log == [("T1", "T8")]
+
+
+class TestP2:
+    def make(self):
+        from repro.core.marking import MarkingEvent
+
+        protocol = P2Protocol()
+        # T1 executes at S1 and S2; S1 locally committed wrt T1, S2 not yet.
+        protocol.register_execution("T1", ["S1", "S2"])
+        protocol.directory.machine("S1").fire("T1", MarkingEvent.VOTE_COMMIT)
+        return protocol
+
+    def test_spawn_ok_on_lc_site(self):
+        protocol = self.make()
+        assert protocol.check_spawn("T9", "S1", set()).ok
+        assert protocol.merge_marks("T9", "S1", set()) == {"T1"}
+
+    def test_spawn_rejected_mixing_lc_and_unmarked(self):
+        protocol = self.make()
+        result = protocol.check_spawn("T9", "S2", {"T1"})
+        assert not result.ok
+
+    def test_rejection_retriable_when_txn_executes_there_unvoted(self):
+        protocol = self.make()
+        protocol.register_execution("T1", ["S1", "S2"])
+        assert protocol.check_spawn("T9", "S2", {"T1"}).retriable
+
+    def test_decision_commit_clears_marks_globally(self):
+        protocol = self.make()
+        protocol.on_decision_commit("T1", "S1")
+        assert protocol.check_spawn("T9", "S2", {"T1"}).ok
+        assert protocol.validate_at_vote("T9", "S2", {"T1"})
+
+    def test_validate_fails_while_undecided(self):
+        protocol = self.make()
+        assert not protocol.validate_at_vote("T9", "S2", {"T1"})
+
+
+class TestSimple:
+    def make(self):
+        from repro.core.marking import MarkingEvent
+
+        protocol = SimpleProtocol()
+        protocol.directory.machine("S1").fire("T1", MarkingEvent.VOTE_ABORT)
+        return protocol
+
+    def test_first_site_always_ok(self):
+        protocol = self.make()
+        assert protocol.check_spawn("T9", "S1", set()).ok
+
+    def test_second_site_must_match_undone_set(self):
+        protocol = self.make()
+        marks = protocol.merge_marks("T9", "S1", set())
+        assert marks == {"T1"}
+        assert not protocol.check_spawn("T9", "S2", marks).ok
+
+    def test_matching_undone_sets_ok(self):
+        from repro.core.marking import MarkingEvent
+
+        protocol = self.make()
+        protocol.directory.machine("S2").fire("T1", MarkingEvent.VOTE_ABORT)
+        marks = protocol.merge_marks("T9", "S1", set())
+        assert protocol.check_spawn("T9", "S2", marks).ok
+
+    def test_lc_site_always_rejected(self):
+        from repro.core.marking import MarkingEvent
+
+        protocol = SimpleProtocol()
+        protocol.directory.machine("S3").fire("T5", MarkingEvent.VOTE_COMMIT)
+        assert not protocol.check_spawn("T9", "S3", set()).ok
+
+    def test_simple_stricter_than_p1(self):
+        """SIMPLE rejects configurations P1 accepts (the concurrency
+        trade-off of Section 6.2's final remark)."""
+        from repro.core.marking import MarkingEvent
+
+        simple = SimpleProtocol()
+        simple.directory.machine("S2").fire("T1", MarkingEvent.VOTE_ABORT)
+        p1 = P1Protocol(directory=MarkingDirectory())
+        p1.directory.machine("S2").fire("T1", MarkingEvent.VOTE_ABORT)
+        # T9 starts unmarked at S1 then goes to S2 (undone wrt T1):
+        # P1 allows the pickup at spawn; SIMPLE does not.
+        marks = set(p1.merge_marks("T9", "S1", set()))
+        assert p1.check_spawn("T9", "S2", marks).ok
+        smarks = set(simple.merge_marks("T9", "S1", set()))
+        assert not simple.check_spawn("T9", "S2", smarks).ok

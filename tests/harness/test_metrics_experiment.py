@@ -1,0 +1,128 @@
+"""Unit tests for metric aggregation, sweeps, and table formatting."""
+
+from repro.harness import (
+    ExperimentResult,
+    Sweep,
+    System,
+    SystemConfig,
+    collect_metrics,
+    format_table,
+)
+from repro.harness.metrics import mean, percentile
+from repro.txn import GlobalTxnSpec, SemanticOp, SubtxnSpec, VotePolicy
+
+
+class TestStatHelpers:
+    def test_mean(self):
+        assert mean([]) == 0.0
+        assert mean([2.0, 4.0]) == 3.0
+
+    def test_percentile(self):
+        assert percentile([], 99) == 0.0
+        values = [float(i) for i in range(1, 101)]
+        assert percentile(values, 0) == 1.0
+        assert percentile(values, 100) == 100.0
+        assert 49.0 <= percentile(values, 50) <= 51.0
+
+
+class TestCollectMetrics:
+    def run_system(self, force_no=False):
+        system = System(SystemConfig())
+        spec = GlobalTxnSpec(txn_id="T1", subtxns=[
+            SubtxnSpec("S1", [SemanticOp("withdraw", "k0", {"amount": 1})]),
+            SubtxnSpec(
+                "S2", [SemanticOp("deposit", "k0", {"amount": 1})],
+                vote=VotePolicy.FORCE_NO if force_no else VotePolicy.AUTO,
+            ),
+        ])
+        system.run_transaction(spec)
+        system.env.run()
+        return system
+
+    def test_commit_accounting(self):
+        report = collect_metrics(self.run_system())
+        assert (report.committed, report.aborted) == (1, 0)
+        assert report.abort_rate == 0.0
+        assert report.mean_latency > 0
+        # 2 sites x 3 round trips (SUBTXN, VOTE, DECISION) = 12 messages
+        assert report.messages_total == 12
+
+    def test_abort_accounting(self):
+        report = collect_metrics(self.run_system(force_no=True))
+        assert (report.committed, report.aborted) == (0, 1)
+        assert report.abort_rate == 1.0
+        assert report.compensations == 1
+
+    def test_lock_metrics_populated(self):
+        report = collect_metrics(self.run_system())
+        assert report.mean_lock_hold > 0
+        assert report.max_lock_hold >= report.mean_lock_hold
+        assert report.forced_log_writes > 0
+
+    def test_explicit_elapsed_drives_throughput(self):
+        system = self.run_system()
+        report = collect_metrics(system, elapsed=10.0)
+        assert report.throughput == 0.1
+
+
+class TestSweepAndTable:
+    def test_sweep_runs_each_value(self):
+        sweep = Sweep(
+            name="x", values=[1, 2, 3],
+            fn=lambda v: {"double": float(v * 2)},
+        )
+        rows = sweep.run()
+        assert [r.params["x"] for r in rows] == [1, 2, 3]
+        assert [r.measures["double"] for r in rows] == [2.0, 4.0, 6.0]
+
+    def test_format_table_alignment_and_precision(self):
+        rows = [
+            ExperimentResult(params={"p": 0.1},
+                             measures={"value": 1.23456, "flag": True}),
+            ExperimentResult(params={"p": 10.0},
+                             measures={"value": 7.0, "flag": False}),
+        ]
+        text = format_table(rows, title="demo", precision=2)
+        lines = text.splitlines()
+        assert lines[0] == "demo"
+        assert "p" in lines[1] and "value" in lines[1]
+        assert "1.23" in text and "7.00" in text
+        assert "True" in text and "False" in text
+        # all rows share the same width
+        widths = {len(line) for line in lines[1:]}
+        assert len(widths) == 1
+
+    def test_format_table_empty(self):
+        assert "(no rows)" in format_table([], title="empty")
+
+
+class TestResultPersistence:
+    def rows(self):
+        return [
+            ExperimentResult(params={"p": 0.1}, measures={"v": 1.5}),
+            ExperimentResult(params={"p": 0.2}, measures={"v": 2.5}),
+        ]
+
+    def test_save_load_roundtrip(self, tmp_path):
+        from repro.harness.experiment import load_results, save_results
+
+        path = tmp_path / "rows.json"
+        save_results(self.rows(), str(path))
+        loaded = load_results(str(path))
+        assert [r.as_row() for r in loaded] == [
+            r.as_row() for r in self.rows()
+        ]
+
+    def test_markdown_rendering(self):
+        from repro.harness.experiment import to_markdown
+
+        text = to_markdown(self.rows(), title="demo", precision=1)
+        assert "**demo**" in text
+        assert "| p | v |" in text
+        assert "| 0.1 | 1.5 |" in text
+        assert text.count("|---|") == 1
+
+    def test_markdown_empty(self):
+        from repro.harness.experiment import to_markdown
+
+        assert "(no rows)" in to_markdown([], title="x")

@@ -1,0 +1,92 @@
+"""Unit tests for the text timeline renderers."""
+
+from repro.commit import CommitScheme
+from repro.harness import (
+    System,
+    SystemConfig,
+    lock_gantt,
+    marking_audit,
+    transaction_timeline,
+)
+from repro.harness.trace import _bar
+from repro.txn import GlobalTxnSpec, SemanticOp, SubtxnSpec, VotePolicy
+
+
+def run_system(force_no=False, protocol="none"):
+    system = System(SystemConfig(
+        scheme=CommitScheme.O2PC, protocol=protocol,
+    ))
+    spec = GlobalTxnSpec(txn_id="T1", subtxns=[
+        SubtxnSpec("S1", [SemanticOp("withdraw", "k0", {"amount": 1})]),
+        SubtxnSpec(
+            "S2", [SemanticOp("deposit", "k0", {"amount": 1})],
+            vote=VotePolicy.FORCE_NO if force_no else VotePolicy.AUTO,
+        ),
+    ])
+    system.run_transaction(spec)
+    system.env.run()
+    return system
+
+
+class TestBar:
+    def test_full_span(self):
+        assert _bar(0, 10, 0, 10, 10) == "##########"
+
+    def test_partial_span(self):
+        bar = _bar(5, 10, 0, 10, 10)
+        assert bar == "     #####"
+
+    def test_minimum_one_cell(self):
+        bar = _bar(3.0, 3.0, 0, 10, 10)
+        assert bar.count("#") == 1
+
+    def test_clamped_to_axis(self):
+        bar = _bar(-5, 50, 0, 10, 10)
+        assert len(bar) == 10
+
+
+class TestTransactionTimeline:
+    def test_committed_line(self):
+        text = transaction_timeline(run_system())
+        assert "T1" in text
+        assert "COMMIT" in text
+        assert "|" in text
+
+    def test_aborted_line_annotated(self):
+        text = transaction_timeline(run_system(force_no=True))
+        assert "ABORT" in text
+        assert "NO@S2" in text
+        assert "CT@S1" in text
+
+    def test_empty_system(self):
+        assert transaction_timeline(System()) == "(no transactions)"
+
+
+class TestLockGantt:
+    def test_bars_for_held_keys(self):
+        system = run_system()
+        text = lock_gantt(system, "S1")
+        assert "locks at S1" in text
+        assert "k0" in text
+        assert "#" in text
+
+    def test_key_filter(self):
+        system = run_system()
+        assert "k0" not in lock_gantt(system, "S1", keys=["nope"])
+
+    def test_no_holds(self):
+        assert "(no lock holds)" in lock_gantt(System(), "S1")
+
+
+class TestMarkingAudit:
+    def test_transitions_listed(self):
+        system = run_system(force_no=True, protocol="P1")
+        text = marking_audit(system)
+        assert "vote-abort" in text or "decision-abort" in text
+        assert "S2" in text
+
+    def test_clean_run_has_no_clearings(self):
+        system = run_system(protocol="P1")
+        text = marking_audit(system)
+        assert "UDUM" not in text
+        assert "quiescence" not in text

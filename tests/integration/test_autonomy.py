@@ -1,0 +1,103 @@
+"""Integration: local autonomy (Section 1).
+
+A site must be able to abort a local (sub)transaction unilaterally at any
+time before it terminates, and local transactions are never restricted by
+the marking protocols.
+"""
+
+from repro.commit import CommitScheme
+from repro.harness import System, SystemConfig
+from repro.txn import GlobalTxnSpec, SemanticOp, SubtxnSpec
+
+
+def spec(txn_id="T1"):
+    return GlobalTxnSpec(txn_id=txn_id, subtxns=[
+        SubtxnSpec("S1", [SemanticOp("withdraw", "k0", {"amount": 10})]),
+        SubtxnSpec("S2", [SemanticOp("deposit", "k0", {"amount": 10})]),
+    ])
+
+
+def test_unilateral_abort_before_vote_forces_global_abort():
+    system = System(SystemConfig(scheme=CommitScheme.O2PC))
+    proc = system.submit(spec())
+
+    def saboteur():
+        # After S1 executed (t=1) but before the vote round (t=5).
+        yield system.env.timeout(2.0)
+        assert system.participants["S1"].unilateral_abort("T1")
+
+    system.env.process(saboteur())
+    outcome = system.env.run(proc)
+    assert not outcome.committed
+    system.env.run()
+    assert system.sites["S1"].store.get("k0") == 100
+    assert system.sites["S2"].store.get("k0") == 100
+    system.check_correctness()
+
+
+def test_unilateral_abort_releases_local_resources_immediately():
+    system = System(SystemConfig(scheme=CommitScheme.O2PC))
+    system.submit(spec())
+
+    def saboteur():
+        yield system.env.timeout(2.0)
+        system.participants["S1"].unilateral_abort("T1")
+        # Locks gone immediately: the site's resources are its own again.
+        assert system.sites["S1"].locks.locks_of("T1") == {}
+
+    system.env.process(saboteur())
+    system.env.run()
+
+
+def test_unilateral_abort_rejected_after_vote():
+    """Once a site votes, the fate of the subtransaction belongs to the
+    coordinator — but under O2PC the site's locks are already free."""
+    system = System(SystemConfig(scheme=CommitScheme.O2PC))
+    proc = system.submit(spec())
+
+    refused = []
+
+    def saboteur():
+        yield system.env.timeout(6.0)  # after votes (t=5)
+        refused.append(not system.participants["S1"].unilateral_abort("T1"))
+        assert system.sites["S1"].locks.locks_of("T1") == {}
+
+    system.env.process(saboteur())
+    outcome = system.env.run(proc)
+    assert refused == [True]
+    assert outcome.committed
+
+
+def test_local_transactions_bypass_marking_protocol():
+    """P1 restricts only global transactions (Section 6.1): a local
+    transaction runs at a site regardless of its marks."""
+    system = System(SystemConfig(scheme=CommitScheme.O2PC, protocol="P1"))
+    from repro.core.marking import MarkingEvent
+
+    # Site S1 undone wrt T9: global transactions carrying no marks would
+    # still pass, but a transaction marked elsewhere would be restricted.
+    system.marking.directory.machine("S1").fire(
+        "T9", MarkingEvent.VOTE_ABORT
+    )
+    done = system.env.run(system.run_local(
+        "S1", system.next_local_id(),
+        [SemanticOp("deposit", "k0", {"amount": 5})],
+    ))
+    assert done
+    assert system.sites["S1"].store.get("k0") == 105
+
+
+def test_local_and_global_transactions_interleave_correctly():
+    system = System(SystemConfig(scheme=CommitScheme.O2PC, n_sites=2))
+    system.submit(spec("T1"))
+    for i in range(5):
+        system.run_local(
+            "S1", system.next_local_id(),
+            [SemanticOp("deposit", "k0", {"amount": 1})],
+        )
+    system.env.run()
+    assert system.outcomes[0].committed
+    # 100 - 10 (transfer out) + 5 (locals) = 95
+    assert system.sites["S1"].store.get("k0") == 95
+    assert system.sites["S2"].store.get("k0") == 110
+    system.check_correctness()

@@ -1,0 +1,136 @@
+"""Integration: the correctness criterion on simulated executions.
+
+The central demonstration of the paper: with O2PC alone (no complementary
+protocol) a transaction can be serialized *after* the compensation of an
+aborted transaction at one site and *before* it at another — a regular
+cycle.  Protocol P1 prevents exactly this, at the cost of R1 rejections.
+
+The interleaving (see Section 4's discussion and Figure 1):
+
+* ``T1`` spans S1 (writes x) and S2 (writes y); S2 votes NO, so T1 aborts:
+  S2 rolls back immediately (degenerate CT1), S1 — which locally committed
+  and released its locks — must compensate when the ABORT decision arrives.
+* ``T2`` reads y at S2 *after* CT1's roll-back there, then reads x at S1
+  *before* CT1's compensating write (its read lock even delays CT1).
+* Resulting edges: ``CT1 -> T2`` at S2, ``T2 -> CT1`` at S1 — a regular
+  cycle through the committed transaction T2.
+"""
+
+import pytest
+
+from repro.commit import CommitScheme
+from repro.errors import CorrectnessViolation
+from repro.harness import System, SystemConfig
+from repro.sg import find_regular_cycle
+from repro.txn import GlobalTxnSpec, ReadOp, SubtxnSpec, VotePolicy, WriteOp
+
+
+def t1_spec():
+    return GlobalTxnSpec(txn_id="T1", subtxns=[
+        SubtxnSpec("S1", [WriteOp("k0", "T1-dirty")]),
+        SubtxnSpec("S2", [WriteOp("k0", "T1-dirty")], vote=VotePolicy.FORCE_NO),
+    ])
+
+
+def t2_spec():
+    return GlobalTxnSpec(txn_id="T2", subtxns=[
+        SubtxnSpec("S2", [ReadOp("k0")]),
+        SubtxnSpec("S1", [ReadOp("k0")]),
+    ])
+
+
+def run_interleaving(protocol: str):
+    system = System(SystemConfig(
+        scheme=CommitScheme.O2PC, protocol=protocol, n_sites=2,
+    ))
+    system.submit(t1_spec())
+
+    def submit_t2():
+        yield system.env.timeout(4.2)
+        result = yield system.submit(t2_spec())
+        return result
+
+    t2 = system.env.process(submit_t2())
+    system.env.run()
+    return system, t2.value
+
+
+class TestWithoutProtocol:
+    def test_regular_cycle_forms(self):
+        system, outcome = run_interleaving("none")
+        assert outcome.committed, "T2 must commit for the cycle to matter"
+        cycle = find_regular_cycle(system.global_sg())
+        assert cycle is not None
+        assert "T2" in cycle
+
+    def test_check_correctness_raises(self):
+        system, _ = run_interleaving("none")
+        with pytest.raises(CorrectnessViolation):
+            system.check_correctness()
+
+    def test_t2_read_mixed_states(self):
+        """The semantic root cause: T2 saw T1's dirty write at S1 but the
+        pre-T1 state at S2 (reading from CT1)."""
+        system, _ = run_interleaving("none")
+        s1_reads = system.sites["S1"].ltm.read_results["T2"]
+        s2_reads = system.sites["S2"].ltm.read_results["T2"]
+        assert s1_reads["k0"] == "T1-dirty"
+        assert s2_reads["k0"] == 100
+
+
+class TestWithP1:
+    def test_no_regular_cycle(self):
+        system, outcome = run_interleaving("P1")
+        assert outcome.committed
+        system.check_correctness()
+
+    def test_r1_rejected_and_retried(self):
+        system, outcome = run_interleaving("P1")
+        assert outcome.rejections >= 1
+        assert system.marking.rejections >= 1
+
+    def test_t2_reads_consistent_post_compensation_state(self):
+        system, _ = run_interleaving("P1")
+        assert system.sites["S1"].ltm.read_results["T2"]["k0"] == 100
+        assert system.sites["S2"].ltm.read_results["T2"]["k0"] == 100
+
+    def test_udum_unmarks_after_witnesses(self):
+        system, _ = run_interleaving("P1")
+        # T2 executed at both of T1's sites while they were undone: UDUM1
+        # held and rule R3 unmarked T1 everywhere.
+        assert system.marking.directory.udum_log
+        assert system.marking.sitemarks("S1") == set()
+        assert system.marking.sitemarks("S2") == set()
+
+
+class TestWithP2:
+    def test_no_regular_cycle(self):
+        system, outcome = run_interleaving("P2")
+        system.check_correctness()
+
+
+class TestWithSimple:
+    def test_no_regular_cycle(self):
+        system, outcome = run_interleaving("SIMPLE")
+        system.check_correctness()
+
+
+def test_no_aborts_reduces_to_serializability():
+    """Section 5/7: with no global aborts the criterion is plain
+    serializability, and O2PC histories satisfy it."""
+    system = System(SystemConfig(scheme=CommitScheme.O2PC, n_sites=3))
+    for i in range(1, 8):
+        system.submit(GlobalTxnSpec(txn_id=f"T{i}", subtxns=[
+            SubtxnSpec("S1", [WriteOp(f"k{i % 3}", i)]),
+            SubtxnSpec("S2", [ReadOp(f"k{i % 4}")]),
+        ]))
+    system.env.run()
+    assert all(o.committed for o in system.outcomes)
+    gsg = system.global_sg()
+    assert find_regular_cycle(gsg) is None
+    # With no aborts there are no compensations at all: the SG must be
+    # acyclic outright, not merely free of regular cycles.
+    assert not gsg.nodes_of_kind(
+        __import__("repro.sg.graph", fromlist=["TxnKind"]).TxnKind.COMPENSATING
+    )
+    system.check_correctness()

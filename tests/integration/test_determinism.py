@@ -1,0 +1,58 @@
+"""Integration: determinism — the property every experiment rests on.
+
+Two systems built from the same configuration and fed the same workload
+must produce byte-identical observable behavior: outcomes, timestamps,
+message counts, store contents, histories.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.commit import CommitScheme
+from repro.harness import System, SystemConfig
+from repro.workload import WorkloadConfig, WorkloadGenerator
+
+
+def run_fingerprint(seed, protocol, abort_p, scheme):
+    system = System(SystemConfig(
+        scheme=scheme, protocol=protocol, n_sites=3, keys_per_site=8,
+        seed=seed,
+    ))
+    gen = WorkloadGenerator(system, WorkloadConfig(
+        n_transactions=15, abort_probability=abort_p,
+        arrival_mean=2.0, zipf_theta=0.4, locals_per_global=0.5,
+    ), seed=seed)
+    gen.run()
+    outcomes = tuple(
+        (o.txn_id, o.committed, round(o.start_time, 9), round(o.end_time, 9),
+         tuple(o.no_votes), tuple(o.compensated_sites), o.rejections)
+        for o in sorted(system.outcomes, key=lambda o: o.txn_id)
+    )
+    stores = tuple(
+        (sid, tuple(sorted(site.store.snapshot().items())))
+        for sid, site in sorted(system.sites.items())
+    )
+    histories = tuple(
+        (sid, tuple(repr(op) for op in site.history.ops))
+        for sid, site in sorted(system.sites.items())
+    )
+    messages = tuple(sorted(system.network.counts_by_type().items()))
+    return outcomes, stores, histories, messages
+
+
+@settings(max_examples=12, deadline=None)
+@given(
+    st.integers(min_value=0, max_value=1000),
+    st.sampled_from(["none", "P1", "P2"]),
+    st.sampled_from([0.0, 0.2]),
+    st.sampled_from([CommitScheme.O2PC, CommitScheme.TWO_PL]),
+)
+def test_same_configuration_same_run(seed, protocol, abort_p, scheme):
+    first = run_fingerprint(seed, protocol, abort_p, scheme)
+    second = run_fingerprint(seed, protocol, abort_p, scheme)
+    assert first == second
+
+
+def test_different_seeds_differ():
+    a = run_fingerprint(1, "P1", 0.2, CommitScheme.O2PC)
+    b = run_fingerprint(2, "P1", 0.2, CommitScheme.O2PC)
+    assert a != b

@@ -1,0 +1,60 @@
+"""Integration: heavy-tailed (WAN-ish) message latency.
+
+Straggling messages stretch the vote and decision rounds; the invariants
+must hold regardless, and O2PC's advantage *grows* — each straggler extends
+a 2PL lock hold but not an O2PC one.
+"""
+
+from repro.commit import CommitScheme
+from repro.harness import System, SystemConfig, collect_metrics
+from repro.net import ExponentialLatency
+from repro.workload import WorkloadConfig, WorkloadGenerator
+
+
+def run(scheme, seed=2):
+    system = System(SystemConfig(
+        scheme=scheme, n_sites=3, keys_per_site=12,
+        latency=ExponentialLatency(base=1.0, jitter=2.0),
+        seed=seed,
+    ))
+    gen = WorkloadGenerator(system, WorkloadConfig(
+        n_transactions=30, arrival_mean=6.0, read_fraction=0.4,
+    ), seed=seed)
+    elapsed = gen.run()
+    return system, collect_metrics(system, elapsed)
+
+
+def test_all_transactions_terminate():
+    system, report = run(CommitScheme.O2PC)
+    assert report.committed + report.aborted == 30
+    system.check_correctness()
+
+
+def test_o2pc_advantage_under_stragglers():
+    _, r2pl = run(CommitScheme.TWO_PL)
+    _, ro2pc = run(CommitScheme.O2PC)
+    assert ro2pc.mean_lock_hold < r2pl.mean_lock_hold
+    # The *max* hold shows the stragglers: a late decision pins a 2PL lock.
+    assert ro2pc.max_lock_hold <= r2pl.max_lock_hold
+
+
+def test_tail_raises_latency_over_deterministic_network():
+    """A transaction sums ~a dozen latency draws, so its own distribution
+    concentrates (CLT) — the tail shows up as a higher *mean* relative to
+    a deterministic network with the same base."""
+    from repro.net import LatencyModel
+
+    tail_system, tail_report = run(CommitScheme.O2PC)
+    flat = System(SystemConfig(
+        scheme=CommitScheme.O2PC, n_sites=3, keys_per_site=12,
+        latency=LatencyModel(base=1.0), seed=2,
+    ))
+    gen = WorkloadGenerator(flat, WorkloadConfig(
+        n_transactions=30, arrival_mean=6.0, read_fraction=0.4,
+    ), seed=2)
+    elapsed = gen.run()
+    flat_report = collect_metrics(flat, elapsed)
+    assert tail_report.mean_latency > 1.5 * flat_report.mean_latency
+    # ... and still shows per-transaction spread.
+    latencies = [o.latency for o in tail_system.outcomes]
+    assert max(latencies) > 1.25 * min(latencies)

@@ -1,0 +1,68 @@
+"""Integration: O2PC adds no messages beyond standard 2PC (Sections 6-7).
+
+"A distinctive feature of the O2PC/P1 combination is that it makes no
+changes to the message transfer pattern or the structure of the standard
+2PC protocol."
+"""
+
+from repro.commit import CommitScheme
+from repro.harness import System, SystemConfig
+from repro.txn import GlobalTxnSpec, SemanticOp, SubtxnSpec, VotePolicy
+
+
+def spec(txn_id, n_sites, force_no=False):
+    subtxns = [
+        SubtxnSpec(f"S{k}", [SemanticOp("deposit", "k0", {"amount": 1})])
+        for k in range(1, n_sites + 1)
+    ]
+    if force_no:
+        subtxns[-1].vote = VotePolicy.FORCE_NO
+    return GlobalTxnSpec(txn_id=txn_id, subtxns=subtxns)
+
+
+def run(scheme, protocol="none", force_no=False, n_sites=3):
+    system = System(SystemConfig(
+        scheme=scheme, protocol=protocol, n_sites=n_sites,
+    ))
+    system.run_transaction(spec("T1", n_sites, force_no))
+    system.env.run()
+    return system.network.counts_by_type()
+
+
+def test_commit_path_message_counts_identical():
+    assert run(CommitScheme.TWO_PL) == run(CommitScheme.O2PC)
+
+
+def test_abort_path_message_counts_identical():
+    assert run(CommitScheme.TWO_PL, force_no=True) == run(
+        CommitScheme.O2PC, force_no=True
+    )
+
+
+def test_p1_adds_no_messages():
+    assert run(CommitScheme.O2PC) == run(CommitScheme.O2PC, protocol="P1")
+    assert run(CommitScheme.O2PC, force_no=True) == run(
+        CommitScheme.O2PC, protocol="P1", force_no=True
+    )
+
+
+def test_standard_2pc_pattern_per_transaction():
+    """n participants: n SUBTXN_REQ/ACK (execution), then the three 2PC
+    rounds VOTE_REQ / VOTE / DECISION plus ACKs."""
+    counts = run(CommitScheme.O2PC, n_sites=4)
+    assert counts == {
+        "SUBTXN_REQ": 4,
+        "SUBTXN_ACK": 4,
+        "VOTE_REQ": 4,
+        "VOTE": 4,
+        "DECISION": 4,
+        "ACK": 4,
+    }
+
+
+def test_compensation_requires_no_commit_protocol():
+    """Persistence of compensation means no 2PC for the global CT: an
+    aborted transaction triggers no additional VOTE_REQ round."""
+    counts = run(CommitScheme.O2PC, force_no=True, n_sites=3)
+    assert counts["VOTE_REQ"] == 3  # one round only, for T1 itself
+    assert counts["DECISION"] == 3

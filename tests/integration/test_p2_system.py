@@ -1,0 +1,92 @@
+"""Integration: protocol P2 on the full system.
+
+P2 is the dual of P1: it tracks *locally-committed* markings, which exist
+during every transaction's vote-to-decision window, so P2 restricts mixing
+"saw the exposed state" with "did not" — paying some cost even without
+aborts, but needing no UDUM machinery (decision messages clear its marks).
+"""
+
+from repro.commit import CommitScheme
+from repro.harness import System, SystemConfig, collect_metrics
+from repro.txn import GlobalTxnSpec, ReadOp, SemanticOp, SubtxnSpec, VotePolicy
+from repro.workload import WorkloadConfig, WorkloadGenerator
+
+
+def test_p2_prevents_the_adversarial_interleaving():
+    system = System(SystemConfig(
+        scheme=CommitScheme.O2PC, protocol="P2", n_sites=2,
+    ))
+    system.submit(GlobalTxnSpec(txn_id="T1", subtxns=[
+        SubtxnSpec("S1", [SemanticOp("set", "k0", {"value": "dirty"})]),
+        SubtxnSpec("S2", [SemanticOp("set", "k0", {"value": "dirty"})],
+                   vote=VotePolicy.FORCE_NO),
+    ]))
+
+    def submit_t2():
+        yield system.env.timeout(4.2)
+        yield system.submit(GlobalTxnSpec(txn_id="T2", subtxns=[
+            SubtxnSpec("S2", [ReadOp("k0")]),
+            SubtxnSpec("S1", [ReadOp("k0")]),
+        ]))
+
+    system.env.process(submit_t2())
+    system.env.run()
+    system.check_correctness()
+
+
+def test_p2_marks_clear_on_commit_decision():
+    """After a clean commit, no LC marks survive anywhere."""
+    system = System(SystemConfig(
+        scheme=CommitScheme.O2PC, protocol="P2", n_sites=3,
+    ))
+    outcome = system.run_transaction(GlobalTxnSpec(txn_id="T1", subtxns=[
+        SubtxnSpec("S1", [SemanticOp("deposit", "k0", {"amount": 1})]),
+        SubtxnSpec("S2", [SemanticOp("withdraw", "k0", {"amount": 1})]),
+    ]))
+    assert outcome.committed
+    for site_id in system.sites:
+        assert system.directory.lc_marks(site_id) == set()
+
+
+def test_p2_retries_through_the_vote_window():
+    """A transaction that collides with another's LC window is rejected
+    retriably and succeeds once the decision lands."""
+    system = System(SystemConfig(
+        scheme=CommitScheme.O2PC, protocol="P2", n_sites=3,
+    ))
+    system.submit(GlobalTxnSpec(txn_id="T1", subtxns=[
+        SubtxnSpec("S1", [SemanticOp("deposit", "k1", {"amount": 1})]),
+        SubtxnSpec("S2", [SemanticOp("withdraw", "k1", {"amount": 1})]),
+    ]))
+
+    def submit_t2():
+        # Arrive inside T1's vote-to-decision window at S1 (t in [5, 7.5]),
+        # spanning S1 (LC wrt T1) and S3 (where T1 never runs).
+        yield system.env.timeout(4.5)
+        result = yield system.submit(GlobalTxnSpec(txn_id="T2", subtxns=[
+            SubtxnSpec("S1", [ReadOp("k2")]),
+            SubtxnSpec("S3", [ReadOp("k2")]),
+        ]))
+        return result
+
+    outcome = system.env.run(system.env.process(submit_t2()))
+    system.env.run()
+    # T2 either waited out the window via retries or slipped before it —
+    # both commit; the system stays correct either way.
+    assert outcome.committed
+    system.check_correctness()
+
+
+def test_p2_workload_correct_under_aborts():
+    system = System(SystemConfig(
+        scheme=CommitScheme.O2PC, protocol="P2", n_sites=4, keys_per_site=10,
+    ))
+    gen = WorkloadGenerator(system, WorkloadConfig(
+        n_transactions=40, abort_probability=0.25,
+        read_fraction=0.5, arrival_mean=2.5, zipf_theta=0.4,
+    ), seed=5)
+    elapsed = gen.run()
+    report = collect_metrics(system, elapsed)
+    assert report.committed > 0
+    assert report.aborted > 0
+    system.check_correctness()

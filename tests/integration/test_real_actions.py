@@ -1,0 +1,75 @@
+"""Integration: non-compensatable (real-action) subtransactions (Section 2).
+
+Sites performing real actions hold their locks and delay the action until
+the decision, as in distributed 2PL; the other sites of the same transaction
+still release early.
+"""
+
+from repro.commit import CommitScheme
+from repro.harness import System, SystemConfig
+from repro.txn import GlobalTxnSpec, SemanticOp, SubtxnSpec, VotePolicy
+
+
+def atm_spec(vote_s2=VotePolicy.AUTO):
+    """Dispense cash at S1 (real action) funded from an account at S2."""
+    return GlobalTxnSpec(txn_id="T1", subtxns=[
+        SubtxnSpec(
+            "S1", [SemanticOp("dispense", "k0", {"amount": 40})],
+            real_action=True,
+        ),
+        SubtxnSpec(
+            "S2", [SemanticOp("withdraw", "k0", {"amount": 40})],
+            vote=vote_s2,
+        ),
+    ])
+
+
+def test_real_action_site_holds_locks_until_decision():
+    system = System(SystemConfig(scheme=CommitScheme.O2PC))
+    outcome = system.run_transaction(atm_spec())
+    assert outcome.committed
+    s1_holds = [
+        h for h in system.sites["S1"].locks.hold_log if h.txn_id == "T1"
+    ]
+    s2_holds = [
+        h for h in system.sites["S2"].locks.hold_log if h.txn_id == "T1"
+    ]
+    # S1 (real action) held through the decision; S2 released at vote.
+    assert all(h.released_at > outcome.decision_time for h in s1_holds)
+    assert all(h.released_at <= outcome.decision_time for h in s2_holds)
+
+
+def test_real_action_rolled_back_not_compensated_on_abort():
+    system = System(SystemConfig(scheme=CommitScheme.O2PC))
+    outcome = system.run_transaction(atm_spec(vote_s2=VotePolicy.FORCE_NO))
+    assert not outcome.committed
+    # The cash never left: state-based roll-back, no compensation at S1.
+    assert system.sites["S1"].store.get("k0") == 100
+    assert "S1" not in outcome.compensated_sites
+    assert system.participants["S1"].compensator.stats.started == 0
+    # S2 simply rolled back too (it voted NO).
+    assert system.sites["S2"].store.get("k0") == 100
+
+
+def test_compensatable_site_still_benefits_alongside_real_action():
+    """The paper: "All other sites ... can still benefit from the early
+    lock release."""
+    system = System(SystemConfig(scheme=CommitScheme.O2PC))
+    outcome = system.run_transaction(atm_spec())
+    s2_max = max(
+        h.duration for h in system.sites["S2"].locks.hold_log
+        if h.txn_id == "T1"
+    )
+    s1_max = max(
+        h.duration for h in system.sites["S1"].locks.hold_log
+        if h.txn_id == "T1"
+    )
+    assert s2_max < s1_max
+
+
+def test_commit_applies_real_action():
+    system = System(SystemConfig(scheme=CommitScheme.O2PC))
+    outcome = system.run_transaction(atm_spec())
+    assert outcome.committed
+    assert system.sites["S1"].store.get("k0") == 60   # cash dispensed
+    assert system.sites["S2"].store.get("k0") == 60   # account debited

@@ -1,0 +1,80 @@
+"""Integration: saga mode (Section 4's closing remark).
+
+Sagas accept non-serializable interleavings by design; O2PC then needs no
+complementary protocol.  What saga mode still guarantees — and these tests
+pin down — is *semantic atomicity*: every global transaction either commits
+at all its sites or is compensated/rolled back at all of them, and invariant
+quantities (account totals) are preserved.
+"""
+
+from repro.harness import System, SystemConfig, collect_metrics
+from repro.txn import GlobalTxnSpec, ReadOp, SubtxnSpec, VotePolicy, WriteOp
+from repro.txn.transaction import TxnStatus
+from repro.workload import WorkloadConfig, WorkloadGenerator, banking_transfers
+
+
+def test_saga_mode_is_registered():
+    system = System(SystemConfig(protocol="saga"))
+    assert system.marking.name == "saga"
+    assert system.sites["S1"].marks_key is None
+
+
+def test_saga_accepts_the_interleaving_p1_rejects():
+    """The adversarial schedule commits T2 and produces a regular cycle —
+    acceptable by saga semantics, zero rejections, zero retries."""
+    system = System(SystemConfig(protocol="saga", n_sites=2))
+    system.submit(GlobalTxnSpec(txn_id="T1", subtxns=[
+        SubtxnSpec("S1", [WriteOp("k0", "dirty")]),
+        SubtxnSpec("S2", [WriteOp("k0", "dirty")], vote=VotePolicy.FORCE_NO),
+    ]))
+
+    def submit_t2():
+        yield system.env.timeout(4.2)
+        result = yield system.submit(GlobalTxnSpec(txn_id="T2", subtxns=[
+            SubtxnSpec("S2", [ReadOp("k0")]),
+            SubtxnSpec("S1", [ReadOp("k0")]),
+        ]))
+        return result
+
+    outcome = system.env.run(system.env.process(submit_t2()))
+    system.env.run()
+    assert outcome.committed
+    assert outcome.rejections == 0
+
+
+def test_saga_keeps_semantic_atomicity():
+    """Every aborted transaction ends fully compensated/rolled back at
+    every site it executed at; money is conserved."""
+    system = System(SystemConfig(protocol="saga", n_sites=3))
+    before = sum(
+        sum(site.store.snapshot().values()) for site in system.sites.values()
+    )
+    specs = banking_transfers(
+        sorted(system.sites), n_transfers=25, abort_probability=0.3, seed=3,
+    )
+    system.submit_stream(specs, arrival_mean=3.0)
+    system.env.run()
+    after = sum(
+        sum(site.store.snapshot().values()) for site in system.sites.values()
+    )
+    assert after == before
+    aborted = [o for o in system.outcomes if not o.committed]
+    assert aborted, "the workload must exercise the abort path"
+    for outcome in aborted:
+        for site in system.sites.values():
+            status = site.ltm.status.get(outcome.txn_id)
+            assert status in (
+                None, TxnStatus.ABORTED, TxnStatus.COMPENSATED,
+            ), f"{outcome.txn_id} left {status} at {site.site_id}"
+
+
+def test_saga_throughput_matches_unprotected_baseline():
+    def run(protocol):
+        system = System(SystemConfig(protocol=protocol, n_sites=4))
+        gen = WorkloadGenerator(system, WorkloadConfig(
+            n_transactions=30, abort_probability=0.2, arrival_mean=2.0,
+        ), seed=8)
+        elapsed = gen.run()
+        return collect_metrics(system, elapsed).committed
+
+    assert run("saga") == run("none")

@@ -1,0 +1,102 @@
+"""Soundness campaign: the headline guarantees over a run matrix.
+
+For every (scheme, protocol, abort rate, seed) cell:
+
+* **atomicity of compensation** — nobody reads both worlds of any
+  transaction (the semantic guarantee; the unprotected baseline can
+  violate it — that is the protocols' reason to exist — so it is
+  excluded from the matrix);
+* **effective correctness** — no regular cycle through a committed
+  transaction under any marking protocol;
+* **no zombie resources** — every lock is released by run end;
+* **conservation** — on transfer-structured workloads, semantic atomicity
+  keeps the total of all numeric values invariant (checked in its own
+  test: the random generator workload moves unequal amounts by design).
+
+Set ``REPRO_CAMPAIGN=1`` to multiply the seed range by 5 (slow; used for
+the pre-release sweep recorded in EXPERIMENTS.md).
+"""
+
+import os
+
+import pytest
+
+from repro.commit import CommitScheme
+from repro.harness import System, SystemConfig
+from repro.sg import check_atomicity_of_compensation, find_regular_cycle
+from repro.txn.transaction import TxnStatus
+from repro.workload import WorkloadConfig, WorkloadGenerator
+
+SEEDS = range(1, 16 if os.environ.get("REPRO_CAMPAIGN") else 4)
+
+
+def run_cell(protocol, abort_p, seed):
+    system = System(SystemConfig(
+        scheme=CommitScheme.O2PC, protocol=protocol,
+        n_sites=4, keys_per_site=10, seed=seed,
+    ))
+    gen = WorkloadGenerator(system, WorkloadConfig(
+        n_transactions=40, abort_probability=abort_p,
+        read_fraction=0.4, arrival_mean=2.0, zipf_theta=0.5,
+        locals_per_global=0.3,
+    ), seed=seed)
+    gen.run()
+    return system
+
+
+@pytest.mark.parametrize("protocol", ["P1", "P2", "SIMPLE"])
+@pytest.mark.parametrize("abort_p", [0.0, 0.2])
+def test_campaign_cell(protocol, abort_p):
+    for seed in SEEDS:
+        system = run_cell(protocol, abort_p, seed)
+        label = f"{protocol} p={abort_p} seed={seed}"
+
+        cycle = find_regular_cycle(
+            system.global_sg(), system.effective_regular_nodes()
+        )
+        assert cycle is None, f"{label}: regular cycle {cycle}"
+
+        report = check_atomicity_of_compensation(system.global_history())
+        assert report.ok, f"{label}: atomicity {report.violations}"
+
+        for site in system.sites.values():
+            for txn, status in site.ltm.status.items():
+                if status in (TxnStatus.ACTIVE, TxnStatus.PREPARED):
+                    assert site.locks.locks_of(txn) == {}, (
+                        f"{label}: zombie locks of {txn} at {site.site_id}"
+                    )
+
+
+@pytest.mark.parametrize("protocol", ["P1", "P2", "SIMPLE", "saga"])
+def test_campaign_conservation(protocol):
+    """Semantic atomicity conserves value on transfer-structured workloads
+    (each transaction moves an amount; aborts net to zero through
+    compensation), for every protocol including saga mode."""
+    from repro.workload import banking_transfers
+
+    for seed in SEEDS:
+        system = System(SystemConfig(
+            scheme=CommitScheme.O2PC, protocol=protocol,
+            n_sites=3, seed=seed,
+        ))
+        before = sum(
+            value
+            for site in system.sites.values()
+            for value in site.store.snapshot().values()
+            if isinstance(value, int)
+        )
+        specs = banking_transfers(
+            sorted(system.sites), n_transfers=25,
+            abort_probability=0.25, seed=seed,
+        )
+        system.env.run(system.submit_stream(specs, arrival_mean=2.5))
+        system.env.run()
+        after = sum(
+            value
+            for site in system.sites.values()
+            for value in site.store.snapshot().values()
+            if isinstance(value, int)
+        )
+        assert after == before, (
+            f"{protocol} seed={seed}: {before} -> {after}"
+        )

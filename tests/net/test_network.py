@@ -1,0 +1,221 @@
+"""Unit tests for the network substrate."""
+
+import pytest
+
+from repro.errors import UnknownSiteError
+from repro.net import LatencyModel, Message, MsgType, Network
+from repro.sim import Environment, Rng
+
+
+def make_net(**kwargs):
+    env = Environment()
+    net = Network(env, rng=Rng(0), **kwargs)
+    return env, net
+
+
+def msg(sender="S1", recipient="S2", mtype=MsgType.VOTE_REQ, txn="T1", **payload):
+    return Message(
+        msg_type=mtype, sender=sender, recipient=recipient, txn_id=txn,
+        payload=payload,
+    )
+
+
+def test_delivery_after_base_latency():
+    env, net = make_net(latency=LatencyModel(base=2.5))
+    net.register("S1")
+    net.register("S2")
+    received = []
+
+    def receiver(env):
+        m = yield net.receive("S2")
+        received.append((env.now, m.payload["x"]))
+
+    env.process(receiver(env))
+    net.send(msg(x=7))
+    env.run()
+    assert received == [(2.5, 7)]
+
+
+def test_message_stamped_with_times():
+    env, net = make_net(latency=LatencyModel(base=1.0))
+    net.register("S1")
+    net.register("S2")
+    m = msg()
+
+    def receiver(env):
+        got = yield net.receive("S2")
+        return got
+
+    p = env.process(receiver(env))
+    net.send(m)
+    got = env.run(p)
+    assert got.send_time == 0.0
+    assert got.deliver_time == 1.0
+
+
+def test_unknown_recipient_raises():
+    env, net = make_net()
+    net.register("S1")
+    with pytest.raises(UnknownSiteError):
+        net.send(msg(recipient="nowhere"))
+    with pytest.raises(UnknownSiteError):
+        net.inbox("nowhere")
+
+
+def test_loss_probability_drops_messages():
+    env, net = make_net(loss_probability=1.0)
+    net.register("S1")
+    net.register("S2")
+    net.send(msg())
+    env.run()
+    assert net.dropped[MsgType.VOTE_REQ] == 1
+    assert net.delivered[MsgType.VOTE_REQ] == 0
+    assert len(net.inbox("S2")) == 0
+
+
+def test_send_from_down_site_dropped():
+    env, net = make_net()
+    net.register("S1")
+    net.register("S2")
+    net.mark_down("S1")
+    net.send(msg())
+    env.run()
+    assert net.dropped[MsgType.VOTE_REQ] == 1
+
+
+def test_delivery_to_down_site_dropped_even_mid_flight():
+    env, net = make_net(latency=LatencyModel(base=5.0))
+    net.register("S1")
+    net.register("S2")
+    net.send(msg())
+
+    def crasher(env):
+        yield env.timeout(1)
+        net.mark_down("S2")
+
+    env.process(crasher(env))
+    env.run()
+    assert net.dropped[MsgType.VOTE_REQ] == 1
+    assert net.delivered[MsgType.VOTE_REQ] == 0
+
+
+def test_mark_down_clears_queued_inbox():
+    env, net = make_net(latency=LatencyModel(base=0.0))
+    net.register("S1")
+    net.register("S2")
+    net.send(msg())
+    env.run()
+    assert len(net.inbox("S2")) == 1
+    net.mark_down("S2")
+    assert len(net.inbox("S2")) == 0
+    assert net.dropped[MsgType.VOTE_REQ] == 1
+
+
+def test_recovered_site_receives_again():
+    env, net = make_net(latency=LatencyModel(base=1.0))
+    net.register("S1")
+    net.register("S2")
+    net.mark_down("S2")
+    net.mark_up("S2")
+    net.send(msg())
+    env.run()
+    assert net.delivered[MsgType.VOTE_REQ] == 1
+
+
+def test_per_link_latency_override():
+    env, net = make_net(latency=LatencyModel(base=1.0))
+    for s in ("S1", "S2", "S3"):
+        net.register(s)
+    net.set_link_latency("S1", "S3", LatencyModel(base=9.0))
+    arrivals = {}
+
+    def receiver(env, site):
+        yield net.receive(site)
+        arrivals[site] = env.now
+
+    env.process(receiver(env, "S2"))
+    env.process(receiver(env, "S3"))
+    net.send(msg(recipient="S2"))
+    net.send(msg(recipient="S3"))
+    env.run()
+    assert arrivals == {"S2": 1.0, "S3": 9.0}
+
+
+def test_latency_jitter_within_bounds():
+    env, net = make_net(latency=LatencyModel(base=1.0, jitter=0.5))
+    net.register("S1")
+    net.register("S2")
+    arrivals = []
+
+    def receiver(env):
+        for _ in range(20):
+            yield net.receive("S2")
+            arrivals.append(env.now)
+
+    env.process(receiver(env))
+    for _ in range(20):
+        net.send(msg())
+    env.run()
+    assert all(1.0 <= t <= 1.5 for t in arrivals)
+
+
+def test_counters_by_type():
+    env, net = make_net(latency=LatencyModel(base=0.0))
+    net.register("S1")
+    net.register("S2")
+    net.send(msg(mtype=MsgType.VOTE_REQ))
+    net.send(msg(mtype=MsgType.VOTE))
+    net.send(msg(mtype=MsgType.VOTE))
+    env.run()
+    assert net.total_sent() == 3
+    assert net.counts_by_type() == {"VOTE": 2, "VOTE_REQ": 1}
+
+
+def test_reply_addresses_sender():
+    m = msg(sender="A", recipient="B")
+    r = m.reply(MsgType.VOTE, {"vote": "YES"})
+    assert r.sender == "B"
+    assert r.recipient == "A"
+    assert r.txn_id == m.txn_id
+    assert r.payload == {"vote": "YES"}
+
+
+def test_exponential_latency_tail():
+    from repro.net import ExponentialLatency
+
+    rng = Rng(3)
+    model = ExponentialLatency(base=1.0, jitter=2.0)
+    draws = [model.draw(rng) for _ in range(2000)]
+    assert all(d >= 1.0 for d in draws)
+    mean = sum(draws) / len(draws)
+    assert 2.6 < mean < 3.4  # base + exponential mean 2
+    assert max(draws) > 8.0  # heavy tail visible
+
+
+def test_exponential_latency_degenerates_without_jitter():
+    from repro.net import ExponentialLatency
+
+    model = ExponentialLatency(base=1.5, jitter=0.0)
+    assert model.draw(Rng(0)) == 1.5
+
+
+def test_exponential_latency_end_to_end():
+    from repro.net import ExponentialLatency
+
+    env = Environment()
+    net = Network(env, rng=Rng(1), latency=ExponentialLatency(base=1.0, jitter=1.0))
+    net.register("S1")
+    net.register("S2")
+    arrivals = []
+
+    def receiver(env):
+        for _ in range(10):
+            yield net.receive("S2")
+            arrivals.append(env.now)
+
+    env.process(receiver(env))
+    for _ in range(10):
+        net.send(msg())
+    env.run()
+    assert len(arrivals) == 10
+    assert all(t >= 1.0 for t in arrivals)

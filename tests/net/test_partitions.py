@@ -1,0 +1,133 @@
+"""Unit and integration tests for link failures (network partitions)."""
+
+from repro.commit import CommitScheme
+from repro.commit.base import CommitConfig
+from repro.harness import System, SystemConfig
+from repro.net import LatencyModel, Message, MsgType, Network
+from repro.sim import Environment, Rng
+from repro.txn import GlobalTxnSpec, SemanticOp, SubtxnSpec
+
+
+def make_net():
+    env = Environment()
+    net = Network(env, rng=Rng(0), latency=LatencyModel(base=1.0))
+    for s in ("A", "B", "C"):
+        net.register(s)
+    return env, net
+
+
+def send(net, a, b):
+    net.send(Message(
+        msg_type=MsgType.VOTE, sender=a, recipient=b, txn_id="T1",
+    ))
+
+
+class TestLinkFailures:
+    def test_severed_link_drops_messages(self):
+        env, net = make_net()
+        net.sever("A", "B")
+        send(net, "A", "B")
+        env.run()
+        assert net.dropped[MsgType.VOTE] == 1
+        assert len(net.inbox("B")) == 0
+
+    def test_sever_is_bidirectional_by_default(self):
+        env, net = make_net()
+        net.sever("A", "B")
+        assert net.is_severed("A", "B") and net.is_severed("B", "A")
+
+    def test_unidirectional_sever(self):
+        env, net = make_net()
+        net.sever("A", "B", bidirectional=False)
+        assert net.is_severed("A", "B")
+        assert not net.is_severed("B", "A")
+        send(net, "B", "A")
+        env.run()
+        assert net.delivered[MsgType.VOTE] == 1
+
+    def test_heal_restores_delivery(self):
+        env, net = make_net()
+        net.sever("A", "B")
+        net.heal("A", "B")
+        send(net, "A", "B")
+        env.run()
+        assert net.delivered[MsgType.VOTE] == 1
+
+    def test_partition_groups(self):
+        env, net = make_net()
+        net.partition(["A"], ["B", "C"])
+        assert net.is_severed("A", "B") and net.is_severed("C", "A")
+        send(net, "A", "C")
+        env.run()
+        assert net.dropped[MsgType.VOTE] == 1
+        net.heal_partition(["A"], ["B", "C"])
+        send(net, "A", "C")
+        env.run()
+        assert net.delivered[MsgType.VOTE] == 1
+
+    def test_other_links_unaffected(self):
+        env, net = make_net()
+        net.sever("A", "B")
+        send(net, "A", "C")
+        env.run()
+        assert net.delivered[MsgType.VOTE] == 1
+
+
+class TestPartitionedCommit:
+    def spec(self):
+        return GlobalTxnSpec(txn_id="T1", subtxns=[
+            SubtxnSpec("S1", [SemanticOp("withdraw", "k0", {"amount": 5})]),
+            SubtxnSpec("S2", [SemanticOp("deposit", "k0", {"amount": 5})]),
+        ])
+
+    def test_partitioned_participant_aborts_transaction(self):
+        """A link failure between coordinator and one participant: the
+        missing vote decides ABORT; under O2PC the reachable participant's
+        exposed work is compensated once the decision gets through."""
+        system = System(SystemConfig(
+            scheme=CommitScheme.O2PC,
+            commit=CommitConfig(vote_timeout=20.0, ack_timeout=20.0,
+                                spawn_timeout=20.0),
+        ))
+        proc = system.submit(self.spec())
+
+        def cut():
+            # Sever after execution completes but before the vote round.
+            yield system.env.timeout(4.5)
+            system.network.sever("coord.T1", "S2")
+
+        system.env.process(cut())
+        outcome = system.env.run(proc)
+        system.env.run()
+        assert not outcome.committed
+        assert system.sites["S1"].store.get("k0") == 100
+
+    def test_healed_partition_lets_retransmission_finish(self):
+        """The decision retransmission rounds deliver the outcome once the
+        link heals, releasing a 2PL participant blocked in prepared state."""
+        system = System(SystemConfig(
+            scheme=CommitScheme.TWO_PL,
+            commit=CommitConfig(ack_timeout=15.0, decision_retries=4),
+        ))
+        proc = system.submit(self.spec())
+
+        def flap():
+            yield system.env.timeout(6.4)   # after votes, before decision
+            system.network.sever("coord.T1", "S1")
+            yield system.env.timeout(30.0)
+            system.network.heal("coord.T1", "S1")
+
+        system.env.process(flap())
+        outcome = system.env.run(proc)
+        system.env.run()
+        assert outcome.committed
+        from repro.storage.wal import RecordType
+
+        assert system.sites["S1"].wal.status_of("T1") is RecordType.COMMIT
+        assert system.sites["S1"].store.get("k0") == 95
+        # The participant held its lock across the whole partition window.
+        hold = max(
+            h.duration for h in system.sites["S1"].locks.hold_log
+            if h.txn_id == "T1"
+        )
+        assert hold > 30.0

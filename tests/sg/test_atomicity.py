@@ -1,0 +1,65 @@
+"""Unit tests for atomicity of compensation (Theorem 2)."""
+
+from repro.sg import GlobalHistory, check_atomicity_of_compensation
+from repro.sg.atomicity import compensation_writes_cover
+
+
+def test_reader_of_both_t_and_ct_flagged():
+    gh = GlobalHistory()
+    s1 = gh.site("S1")
+    s1.write("T1", "x")
+    s1.read("T2", "x")       # T2 reads from T1
+    s2 = gh.site("S2")
+    s2.write("T1", "y")
+    s2.write("CT1", "y")
+    s2.read("T2", "y")       # T2 reads from CT1
+    report = check_atomicity_of_compensation(gh)
+    assert not report.ok
+    assert report.violations == [("T2", "T1")]
+
+
+def test_reading_only_forward_transaction_ok():
+    gh = GlobalHistory()
+    s1 = gh.site("S1")
+    s1.write("T1", "x")
+    s1.read("T2", "x")
+    report = check_atomicity_of_compensation(gh)
+    assert report.ok
+
+
+def test_reading_only_compensation_ok():
+    gh = GlobalHistory()
+    s1 = gh.site("S1")
+    s1.write("T1", "x")
+    s1.write("CT1", "x")
+    s1.read("T2", "x")       # reads the compensated state only
+    report = check_atomicity_of_compensation(gh)
+    assert report.ok
+
+
+def test_theorem2_precondition_checker():
+    gh = GlobalHistory()
+    s1 = gh.site("S1")
+    s1.write("T1", "x")
+    s1.write("T1", "y")
+    s1.write("CT1", "x")
+    assert not compensation_writes_cover(gh, "T1")
+    s1.write("CT1", "y")
+    assert compensation_writes_cover(gh, "T1")
+
+
+def test_cover_checked_per_site():
+    gh = GlobalHistory()
+    gh.site("S1").write("T1", "x")
+    gh.site("S1").write("CT1", "x")
+    gh.site("S2").write("T1", "z")
+    # CT1 wrote nothing at S2.
+    assert not compensation_writes_cover(gh, "T1")
+
+
+def test_cover_ignores_sites_without_t_writes():
+    gh = GlobalHistory()
+    gh.site("S1").write("T1", "x")
+    gh.site("S1").write("CT1", "x")
+    gh.site("S2").read("T1", "z")  # read-only at S2
+    assert compensation_writes_cover(gh, "T1")

@@ -1,0 +1,242 @@
+"""Property-based validation of Lemmas 2-3 and Theorem 1 (graph level).
+
+Random global SGs are generated under the paper's structural conventions:
+
+* local SGs are acyclic (local histories are serializable);
+* a compensating transaction ``CT_i`` appears only at sites where ``T_i``
+  appears, with the forced edge ``T_i -> CT_i`` (compensation is always
+  serialized after the forward transaction);
+* regular global transactions have a consistent relative order across sites
+  (global 2PL: the lock-point order), while compensating transactions are
+  placed independently per site (their scheduling is uncoordinated).
+
+Under these conventions the checkers must satisfy:
+
+* **Lemma 2**: a regular cycle implies cycle conditions C1 and C2;
+* **Lemma 3 / Theorem 1** (contrapositive): a regular cycle implies that
+  both stratification properties fail.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.sg import (
+    GlobalSG,
+    cycle_condition_c1,
+    cycle_condition_c2,
+    find_regular_cycle,
+    stratification_s1,
+    stratification_s2,
+)
+from repro.sg.cycles import find_local_cycle
+
+
+@st.composite
+def structured_gsg(draw):
+    n_sites = draw(st.integers(min_value=1, max_value=3))
+    n_globals = draw(st.integers(min_value=1, max_value=4))
+    sites = [f"S{k}" for k in range(1, n_sites + 1)]
+    globals_ = [f"T{k}" for k in range(1, n_globals + 1)]
+    aborted = draw(st.sets(st.sampled_from(globals_)))
+
+    # Which sites each global transaction executes at (non-empty).
+    placement = {
+        t: draw(
+            st.sets(st.sampled_from(sites), min_size=1).map(sorted)
+        )
+        for t in globals_
+    }
+
+    gsg = GlobalSG()
+    for site in sites:
+        # Build an acyclic local order: regular globals in global order
+        # (2PL lock-point order), compensations inserted after their
+        # forward transaction at a random offset.
+        order: list[str] = [t for t in globals_ if site in placement[t]]
+        for t in list(order):
+            if t in aborted:
+                pos = order.index(t)
+                insert_at = draw(
+                    st.integers(min_value=pos + 1, max_value=len(order))
+                )
+                order.insert(insert_at, f"C{t}")
+        n_locals = draw(st.integers(min_value=0, max_value=2))
+        for k in range(n_locals):
+            insert_at = draw(
+                st.integers(min_value=0, max_value=len(order))
+            )
+            order.insert(insert_at, f"L{site[1:]}{k}")
+
+        sg = gsg.site(site)
+        for node in order:
+            sg.add_node(node)
+        # Forced serialization of compensation after its forward txn.
+        for t in aborted:
+            if site in placement[t]:
+                sg.add_edge(t, f"C{t}")
+        # Random forward edges along the local order.
+        for i in range(len(order)):
+            for j in range(i + 1, len(order)):
+                if draw(st.booleans()):
+                    sg.add_edge(order[i], order[j])
+    return gsg
+
+
+@settings(max_examples=200, deadline=None)
+@given(structured_gsg())
+def test_generator_produces_acyclic_local_sgs(gsg):
+    assert find_local_cycle(gsg) is None
+
+
+@settings(max_examples=300, deadline=None)
+@given(structured_gsg())
+def test_lemma2_conjunction_holds_for_two_node_cycles(gsg):
+    """Lemma 2 holds for the Figure-1(a) shape: cycles whose boundary is
+    exactly one regular transaction and one CT imply both C1 and C2
+    (0 failures in 2422 such cycles during an 8000-graph hunt).
+
+    For longer cycles the lemma's literal statement fails — the pairwise
+    disorder can split across different transaction pairs so that neither
+    condition (or only one) fires; see the pinned counterexamples below.
+    Theorem 1 is unaffected in every observed and constructed case: the
+    stratification predicates quantify over local path shapes directly
+    and fail wherever a cycle exists.
+    """
+    cycle = find_regular_cycle(gsg)
+    if cycle is None or len(set(cycle)) != 2:
+        return
+    assert cycle_condition_c1(gsg), "Lemma 2: 2-node cycle must imply C1"
+    assert cycle_condition_c2(gsg), "Lemma 2: 2-node cycle must imply C2"
+
+
+def test_lemma2_counterexample_single_ct_two_regulars():
+    """Reproduction finding: Lemma 2 fails — in both conditions at once —
+    for a cycle through ONE compensation and TWO regular transactions.
+
+    ``T3 -> T4 -> CT1 -> T3``: T3 is after CT1 at S3, T4 is before CT1 at
+    S2, and T3 precedes T4 at S1.  Neither C1 nor C2 fires: no *single*
+    pair ``(T_i, T_j)`` exhibits the required before/after disorder,
+    because it is split between T3 and T4 (and ``T1 → T3``/``T1 → T4``
+    edges close every "no local path" escape hatch).  Yet Theorem 1's
+    conclusion still holds — the pair (T1, T3) falsifies all of A1–A4, so
+    both stratification properties fail.  The published proof chain
+    (Lemma 2 → Lemma 3 → Theorem 1) is therefore broken for cycles with
+    three or more boundary nodes, while the theorem itself appears true
+    (no counterexample in 8000 structured graphs / 2472 cycles).
+    """
+    gsg = GlobalSG()
+    s1, s2, s3 = gsg.site("S1"), gsg.site("S2"), gsg.site("S3")
+    # T1 aborted; CT1 appears at T1's sites, after T1.
+    for sg in (s1, s2, s3):
+        sg.add_edge("T1", "CT1")
+    s1.add_edge("T3", "T4")       # T3 before T4
+    s1.add_edge("T1", "T3")       # T1 before T3 here (closes C1's escape)
+    s2.add_edge("T4", "CT1")      # T4 before the compensation
+    s3.add_edge("CT1", "T3")      # T3 after the compensation
+    s3.add_edge("T1", "T3")
+    s3.add_edge("T1", "T4")
+
+    cycle = find_regular_cycle(gsg)
+    assert cycle is not None and set(cycle) == {"T3", "T4", "CT1"}
+    assert not cycle_condition_c1(gsg)
+    assert not cycle_condition_c2(gsg)
+    # Theorem 1 still fine: both stratification properties fail.
+    assert not stratification_s1(gsg)
+    assert not stratification_s2(gsg)
+
+
+def test_lemma2_multi_ct_counterexample():
+    """Reproduction finding: Lemma 2 as stated fails for multi-CT cycles.
+
+    The cycle ``T3 -> CT1 -> CT2 -> T3`` (T3 before CT1 at S1, CT1 before
+    CT2 at S3 — a data conflict between two compensations — and CT2 before
+    T3 at S2) is a regular cycle, yet condition C1 does not hold: no pair
+    ``(T_i, T_j)`` has ``CT_i -> T_j`` at one site together with the
+    required disorder at another — the inconsistency is carried by the
+    CT-CT segment, which the pairwise conditions cannot see.  Theorem 1's
+    conclusion still holds (both S1 and S2 fail, via the pair (T2, T3)),
+    so only the intermediate lemma is too weak, not the final result.
+    Found by the property test's random search; pinned here.
+    """
+    gsg = GlobalSG()
+    s1, s2, s3 = gsg.site("S1"), gsg.site("S2"), gsg.site("S3")
+    s1.add_edge("T1", "CT1")
+    s1.add_edge("T2", "CT2")
+    s1.add_edge("T2", "T3")
+    s1.add_edge("T3", "CT1")
+    s2.add_edge("T2", "CT2")
+    s2.add_edge("CT2", "T3")
+    s3.add_edge("T1", "CT1")
+    s3.add_edge("T2", "CT2")
+    s3.add_edge("CT1", "CT2")
+
+    cycle = find_regular_cycle(gsg)
+    assert cycle == ["T3", "CT1", "CT2", "T3"]
+    assert not cycle_condition_c1(gsg)      # Lemma 2's C1 fails...
+    assert not stratification_s1(gsg)       # ...but Theorem 1 survives:
+    assert not stratification_s2(gsg)       # both properties still fail.
+
+
+@settings(max_examples=300, deadline=None)
+@given(structured_gsg())
+def test_theorem1_stratification_prevents_regular_cycles(gsg):
+    """Contrapositive of Theorem 1: a regular cycle falsifies S1 and S2.
+
+    Unlike Lemma 2, this held through a dedicated 5000-example hunt even
+    for multi-CT cycles.
+    """
+    if find_regular_cycle(gsg) is not None:
+        assert not stratification_s1(gsg)
+        assert not stratification_s2(gsg)
+
+
+@settings(max_examples=300, deadline=None)
+@given(structured_gsg())
+def test_lemma3_in_proof_context(gsg):
+    """Lemma 3 as the proof uses it: on graphs with a regular cycle, the
+    cycle conditions derived from it falsify the stratification
+    properties.  (The standalone implication ``C2 ⇒ ¬S2`` over arbitrary
+    graphs is falsified by a danger-free C2 instance — see
+    test_lemma3_standalone_counterexample.)"""
+    if find_regular_cycle(gsg) is None:
+        return
+    if cycle_condition_c1(gsg):
+        assert not stratification_s1(gsg), "Lemma 3: C1 must falsify S1"
+    if cycle_condition_c2(gsg):
+        assert not stratification_s2(gsg), "Lemma 3: C2 must falsify S2"
+
+
+def test_lemma3_standalone_counterexample():
+    """Reproduction finding: Lemma 3's implications do not hold for C1/C2
+    instances that are not backed by a cycle.
+
+    Here ``T1 → CT2`` at S1 satisfies C2 for the pair (T2, T1) — the
+    second disjunct fires vacuously because T2 never executed at S2 — yet
+    the history is a DAG and perfectly harmless: T1 is consistently
+    serialized *before* T2 and its compensation, so the pair is never
+    *active* and S2 holds.  In the paper's proof chain Lemma 3 is only
+    applied to conditions derived from a regular cycle (Lemma 2's
+    output), where the activity requirement is met; as a standalone graph
+    implication it is too strong.  Theorem 1 is unaffected (verified by a
+    5000-example hunt).
+    """
+    gsg = GlobalSG()
+    s1, s2 = gsg.site("S1"), gsg.site("S2")
+    s1.add_edge("T1", "CT1")
+    s1.add_edge("CT1", "CT2")
+    s1.add_edge("CT1", "T2")
+    s1.add_edge("T2", "CT2")
+    s2.add_edge("T1", "CT1")
+
+    assert find_regular_cycle(gsg) is None          # harmless DAG
+    assert cycle_condition_c2(gsg)                   # yet C2 fires
+    assert stratification_s2(gsg)                    # and S2 holds
+
+
+@settings(max_examples=300, deadline=None)
+@given(structured_gsg())
+def test_lemma1_regular_cycles_include_compensation_under_conventions(gsg):
+    """Lemma 1 at graph level: with consistent global ordering (2PL), a
+    regular cycle can only be closed through a compensating transaction."""
+    cycle = find_regular_cycle(gsg)
+    if cycle is not None:
+        assert any(n.startswith("CT") for n in cycle)

@@ -1,0 +1,151 @@
+"""Unit tests for the discrete-event engine."""
+
+import pytest
+
+from repro.errors import SimulationDeadlock
+from repro.sim import Environment
+
+
+def test_clock_starts_at_zero():
+    env = Environment()
+    assert env.now == 0.0
+
+
+def test_clock_custom_initial_time():
+    env = Environment(initial_time=42.0)
+    assert env.now == 42.0
+
+
+def test_timeout_advances_clock():
+    env = Environment()
+
+    def proc(env):
+        yield env.timeout(5)
+        return env.now
+
+    p = env.process(proc(env))
+    assert env.run(p) == 5.0
+    assert env.now == 5.0
+
+
+def test_run_until_time_stops_clock_exactly():
+    env = Environment()
+    fired = []
+
+    def proc(env):
+        yield env.timeout(10)
+        fired.append(env.now)
+
+    env.process(proc(env))
+    env.run(until=3.0)
+    assert env.now == 3.0
+    assert fired == []
+    env.run(until=20.0)
+    assert fired == [10.0]
+    assert env.now == 20.0
+
+
+def test_run_until_past_time_raises():
+    env = Environment(initial_time=10.0)
+    with pytest.raises(ValueError):
+        env.run(until=5.0)
+
+
+def test_run_until_event_returns_value():
+    env = Environment()
+
+    def proc(env):
+        yield env.timeout(1)
+        return "result"
+
+    assert env.run(env.process(proc(env))) == "result"
+
+
+def test_run_drains_queue_when_until_none():
+    env = Environment()
+
+    def proc(env):
+        yield env.timeout(7)
+
+    env.process(proc(env))
+    env.run()
+    assert env.now == 7.0
+
+
+def test_step_on_empty_queue_raises_deadlock():
+    env = Environment()
+    with pytest.raises(SimulationDeadlock):
+        env.step()
+
+
+def test_run_until_untriggerable_event_raises_deadlock():
+    env = Environment()
+    orphan = env.event()
+    with pytest.raises(SimulationDeadlock):
+        env.run(orphan)
+
+
+def test_peek_reports_next_event_time():
+    env = Environment()
+    assert env.peek() == float("inf")
+    env.timeout(4)
+    assert env.peek() == 4.0
+
+
+def test_simultaneous_events_fifo_order():
+    env = Environment()
+    order = []
+
+    def proc(env, tag):
+        yield env.timeout(1)
+        order.append(tag)
+
+    for tag in ("a", "b", "c"):
+        env.process(proc(env, tag))
+    env.run()
+    assert order == ["a", "b", "c"]
+
+
+def test_unhandled_process_failure_surfaces():
+    env = Environment()
+
+    def bad(env):
+        yield env.timeout(1)
+        raise ValueError("boom")
+
+    env.process(bad(env))
+    with pytest.raises(ValueError, match="boom"):
+        env.run()
+
+
+def test_failure_propagates_to_waiting_process():
+    env = Environment()
+
+    def bad(env):
+        yield env.timeout(1)
+        raise ValueError("inner")
+
+    def parent(env):
+        try:
+            yield env.process(bad(env))
+        except ValueError as exc:
+            return f"caught {exc}"
+
+    assert env.run(env.process(parent(env))) == "caught inner"
+
+
+def test_determinism_same_structure_same_order():
+    def build():
+        env = Environment()
+        order = []
+
+        def proc(env, tag, delay):
+            yield env.timeout(delay)
+            order.append((tag, env.now))
+
+        for tag, delay in (("x", 3), ("y", 1), ("z", 3)):
+            env.process(proc(env, tag, delay))
+        env.run()
+        return order
+
+    assert build() == build() == [("y", 1.0), ("x", 3.0), ("z", 3.0)]

@@ -1,0 +1,71 @@
+"""Property-based tests: event-ordering guarantees of the kernel."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.sim import Environment
+
+
+@settings(max_examples=200, deadline=None)
+@given(st.lists(
+    st.floats(min_value=0.0, max_value=100.0, allow_nan=False),
+    min_size=1, max_size=30,
+))
+def test_timeouts_fire_in_nondecreasing_time_order(delays):
+    env = Environment()
+    fired = []
+
+    def proc(env, delay):
+        yield env.timeout(delay)
+        fired.append(env.now)
+
+    for delay in delays:
+        env.process(proc(env, delay))
+    env.run()
+    assert fired == sorted(fired)
+    assert len(fired) == len(delays)
+    assert env.now == max(delays)
+
+
+@settings(max_examples=200, deadline=None)
+@given(st.lists(st.integers(min_value=0, max_value=5), min_size=2,
+                max_size=20))
+def test_equal_time_events_fire_in_creation_order(delays):
+    """FIFO among simultaneous events: processes created earlier run
+    earlier at the same timestamp."""
+    env = Environment()
+    order = []
+
+    def proc(env, index, delay):
+        yield env.timeout(delay)
+        order.append((env.now, index))
+
+    for index, delay in enumerate(delays):
+        env.process(proc(env, index, delay))
+    env.run()
+    # Within each timestamp, indices are increasing.
+    by_time: dict[float, list[int]] = {}
+    for when, index in order:
+        by_time.setdefault(when, []).append(index)
+    for indices in by_time.values():
+        assert indices == sorted(indices)
+
+
+@settings(max_examples=100, deadline=None)
+@given(st.lists(st.floats(min_value=0.1, max_value=50.0, allow_nan=False),
+                min_size=1, max_size=15))
+def test_run_until_never_overshoots(delays):
+    env = Environment()
+    seen = []
+
+    def proc(env, delay):
+        yield env.timeout(delay)
+        seen.append(env.now)
+
+    for delay in delays:
+        env.process(proc(env, delay))
+    horizon = max(delays) / 2
+    env.run(until=horizon)
+    assert env.now == horizon
+    assert all(t <= horizon for t in seen)
+    env.run()
+    assert len(seen) == len(delays)

@@ -1,0 +1,102 @@
+"""Unit tests for the seeded RNG helpers."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.sim import Rng
+
+
+def test_same_seed_same_sequence():
+    a, b = Rng(7), Rng(7)
+    assert [a.random() for _ in range(10)] == [b.random() for _ in range(10)]
+
+
+def test_different_seeds_differ():
+    assert [Rng(1).random() for _ in range(5)] != [
+        Rng(2).random() for _ in range(5)
+    ]
+
+
+def test_fork_is_deterministic_and_independent():
+    parent1, parent2 = Rng(3), Rng(3)
+    parent1.random()  # consume the parent stream
+    f1 = parent1.fork("net")
+    f2 = parent2.fork("net")
+    assert [f1.random() for _ in range(5)] == [f2.random() for _ in range(5)]
+    assert parent1.fork("net").seed != parent1.fork("workload").seed
+
+
+def test_chance_extremes():
+    rng = Rng(0)
+    assert all(rng.chance(1.0) for _ in range(20))
+    assert not any(rng.chance(0.0) for _ in range(20))
+    with pytest.raises(ValueError):
+        rng.chance(1.5)
+
+
+def test_exponential_positive_and_mean():
+    rng = Rng(11)
+    draws = [rng.exponential(10.0) for _ in range(5000)]
+    assert all(d >= 0 for d in draws)
+    mean = sum(draws) / len(draws)
+    assert 9.0 < mean < 11.0
+    with pytest.raises(ValueError):
+        rng.exponential(0)
+
+
+def test_normal_truncation():
+    rng = Rng(5)
+    draws = [rng.normal(0.0, 5.0, minimum=0.0) for _ in range(200)]
+    assert all(d >= 0.0 for d in draws)
+
+
+@given(st.integers(min_value=1, max_value=500))
+def test_zipf_index_in_range(n):
+    rng = Rng(42)
+    for _ in range(20):
+        assert 0 <= rng.zipf_index(n, theta=0.99) < n
+
+
+def test_zipf_skews_toward_low_indices():
+    rng = Rng(9)
+    n = 100
+    draws = [rng.zipf_index(n, theta=1.2) for _ in range(5000)]
+    low = sum(1 for d in draws if d < 10)
+    high = sum(1 for d in draws if d >= 90)
+    assert low > high * 3
+
+
+def test_zipf_theta_zero_is_uniformish():
+    rng = Rng(13)
+    n = 10
+    draws = [rng.zipf_index(n, theta=0.0) for _ in range(10000)]
+    counts = [draws.count(i) for i in range(n)]
+    expected = len(draws) / n
+    assert all(abs(c - expected) < expected * 0.3 for c in counts)
+
+
+def test_zipf_invalid_n():
+    with pytest.raises(ValueError):
+        Rng(0).zipf_index(0)
+
+
+def test_sample_and_choice_deterministic():
+    rng1, rng2 = Rng(4), Rng(4)
+    items = list(range(50))
+    assert rng1.sample(items, 5) == rng2.sample(items, 5)
+    assert rng1.choice(items) == rng2.choice(items)
+
+
+def test_uniform_bounds():
+    rng = Rng(1)
+    for _ in range(100):
+        x = rng.uniform(2.0, 3.0)
+        assert 2.0 <= x <= 3.0
+
+
+def test_randint_bounds():
+    rng = Rng(1)
+    draws = {rng.randint(1, 3) for _ in range(200)}
+    assert draws == {1, 2, 3}

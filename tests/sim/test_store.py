@@ -1,0 +1,122 @@
+"""Unit tests for the FIFO Store."""
+
+from repro.sim import Environment, Store
+
+
+def test_put_then_get_immediate():
+    env = Environment()
+    store = Store(env)
+    store.put("x")
+
+    def proc(env):
+        item = yield store.get()
+        return item
+
+    assert env.run(env.process(proc(env))) == "x"
+
+
+def test_get_blocks_until_put():
+    env = Environment()
+    store = Store(env)
+    times = []
+
+    def consumer(env):
+        item = yield store.get()
+        times.append((env.now, item))
+
+    def producer(env):
+        yield env.timeout(5)
+        store.put("late")
+
+    env.process(consumer(env))
+    env.process(producer(env))
+    env.run()
+    assert times == [(5.0, "late")]
+
+
+def test_fifo_item_order():
+    env = Environment()
+    store = Store(env)
+    for i in range(3):
+        store.put(i)
+    got = []
+
+    def consumer(env):
+        for _ in range(3):
+            item = yield store.get()
+            got.append(item)
+
+    env.run(env.process(consumer(env)))
+    assert got == [0, 1, 2]
+
+
+def test_fifo_getter_order():
+    env = Environment()
+    store = Store(env)
+    got = []
+
+    def consumer(env, tag):
+        item = yield store.get()
+        got.append((tag, item))
+
+    def producer(env):
+        yield env.timeout(1)
+        store.put("a")
+        store.put("b")
+
+    env.process(consumer(env, "first"))
+    env.process(consumer(env, "second"))
+    env.process(producer(env))
+    env.run()
+    assert got == [("first", "a"), ("second", "b")]
+
+
+def test_len_and_items_snapshot():
+    env = Environment()
+    store = Store(env)
+    assert len(store) == 0
+    store.put(1)
+    store.put(2)
+    assert len(store) == 2
+    assert store.items == [1, 2]
+
+
+def test_clear_drops_and_returns_items():
+    env = Environment()
+    store = Store(env)
+    store.put("a")
+    store.put("b")
+    assert store.clear() == ["a", "b"]
+    assert len(store) == 0
+
+
+def test_cancel_get_withdraws_waiter():
+    env = Environment()
+    store = Store(env)
+    getter = store.get()
+    assert not getter.triggered
+    store.cancel_get(getter)
+    store.put("x")
+    # The cancelled getter must not consume the item.
+    assert store.items == ["x"]
+    assert not getter.triggered
+
+
+def test_cancel_get_of_triggered_event_is_noop():
+    env = Environment()
+    store = Store(env)
+    store.put("x")
+    getter = store.get()
+    assert getter.triggered
+    store.cancel_get(getter)  # no error, nothing to withdraw
+    assert getter.value == "x"
+
+
+def test_cancelled_getter_does_not_block_later_getters():
+    env = Environment()
+    store = Store(env)
+    stale = store.get()
+    store.cancel_get(stale)
+    live = store.get()
+    store.put("y")
+    assert live.triggered and live.value == "y"

@@ -1,0 +1,119 @@
+"""Unit tests for WAL checkpointing and log truncation."""
+
+import pytest
+
+from repro.errors import WALError
+from repro.sim import Environment
+from repro.storage import KVStore, RecordType, RecoveryManager, WriteAheadLog
+from repro.txn import Site, WriteOp
+
+
+def logged_put(store, wal, txn, key, value):
+    before = store.snapshot_value(key)
+    wal.append(RecordType.UPDATE, txn, key=key, before=before, after=value)
+    store.put(key, value)
+
+
+class TestWALCheckpoint:
+    def test_checkpoint_record_carries_snapshot(self):
+        store, wal = KVStore(), WriteAheadLog()
+        store.put("a", 1)
+        record = wal.checkpoint(store.snapshot(), active=[])
+        assert record.record_type is RecordType.CHECKPOINT
+        assert record.payload["snapshot"] == {"a": 1}
+        assert wal.last_checkpoint() is record
+
+    def test_truncate_drops_prefix_and_keeps_lsns(self):
+        store, wal = KVStore(), WriteAheadLog()
+        wal.append(RecordType.BEGIN, "T1")
+        logged_put(store, wal, "T1", "a", 1)
+        wal.append(RecordType.COMMIT, "T1")
+        checkpoint = wal.checkpoint(store.snapshot(), active=[])
+        wal.append(RecordType.BEGIN, "T2")
+        dropped = wal.truncate_at_checkpoint()
+        assert dropped == 3
+        assert wal.record_at(checkpoint.lsn) is checkpoint
+        with pytest.raises(WALError):
+            wal.record_at(1)
+        # Post-checkpoint chains intact.
+        assert wal.records_for("T2")[0].record_type is RecordType.BEGIN
+        # Pre-checkpoint chains are gone, not corrupted.
+        assert wal.records_for("T1") == []
+
+    def test_truncate_requires_checkpoint(self):
+        wal = WriteAheadLog()
+        with pytest.raises(WALError):
+            wal.truncate_at_checkpoint()
+
+    def test_truncate_refuses_non_quiescent_checkpoint(self):
+        store, wal = KVStore(), WriteAheadLog()
+        wal.append(RecordType.BEGIN, "T1")
+        wal.checkpoint(store.snapshot(), active=["T1"])
+        with pytest.raises(WALError, match="not quiescent"):
+            wal.truncate_at_checkpoint()
+
+
+class TestRecoveryFromCheckpoint:
+    def test_restart_uses_snapshot_plus_suffix(self):
+        store, wal = KVStore(), WriteAheadLog()
+        rec = RecoveryManager(store, wal)
+        wal.append(RecordType.BEGIN, "T1")
+        logged_put(store, wal, "T1", "a", 1)
+        wal.append(RecordType.COMMIT, "T1")
+        wal.checkpoint(store.snapshot(), active=[])
+        wal.truncate_at_checkpoint()
+        wal.append(RecordType.BEGIN, "T2")
+        logged_put(store, wal, "T2", "b", 2)
+        wal.append(RecordType.COMMIT, "T2")
+        wal.append(RecordType.BEGIN, "T3")
+        logged_put(store, wal, "T3", "c", 3)   # in flight: must vanish
+        store.wipe()
+        report = rec.restart()
+        assert store.get("a") == 1   # from the snapshot
+        assert store.get("b") == 2   # redone from the suffix
+        assert not store.exists("c")
+        assert report.redone == ["T2"]
+        assert report.undone == ["T3"]
+
+    def test_restart_without_checkpoint_unchanged(self):
+        store, wal = KVStore(), WriteAheadLog()
+        rec = RecoveryManager(store, wal)
+        wal.append(RecordType.BEGIN, "T1")
+        logged_put(store, wal, "T1", "a", 1)
+        wal.append(RecordType.COMMIT, "T1")
+        store.wipe()
+        rec.restart()
+        assert store.get("a") == 1
+
+
+class TestSiteCheckpoint:
+    def test_site_checkpoint_roundtrip(self):
+        env = Environment()
+        site = Site(env, "S1")
+        site.load({"a": 1})
+
+        def txn():
+            site.ltm.begin("L1")
+            yield from site.ltm.execute("L1", WriteOp("a", 9))
+            site.ltm.commit("L1")
+
+        env.run(env.process(txn()))
+        before = len(site.wal)
+        site.checkpoint()
+        assert len(site.wal) < before + 1  # log shrank to the checkpoint
+        site.crash()
+        site.restart()
+        assert site.store.get("a") == 9
+
+    def test_site_checkpoint_refuses_in_flight(self):
+        env = Environment()
+        site = Site(env, "S1")
+
+        def txn():
+            site.ltm.begin("L1")
+            yield from site.ltm.execute("L1", WriteOp("a", 9))
+            # no commit: still active
+
+        env.run(env.process(txn()))
+        with pytest.raises(WALError, match="in flight"):
+            site.checkpoint()

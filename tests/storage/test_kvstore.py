@@ -1,0 +1,97 @@
+"""Unit tests for the key-value store."""
+
+import pytest
+
+from repro.errors import KeyNotFound
+from repro.storage import KVStore
+from repro.storage.kvstore import TOMBSTONE
+
+
+def test_put_get_roundtrip():
+    store = KVStore()
+    store.put("a", 1)
+    assert store.get("a") == 1
+
+
+def test_get_missing_raises():
+    store = KVStore()
+    with pytest.raises(KeyNotFound):
+        store.get("missing")
+
+
+def test_get_or_default():
+    store = KVStore()
+    assert store.get_or("missing", 42) == 42
+    store.put("k", "v")
+    assert store.get_or("k", 42) == "v"
+
+
+def test_delete_and_exists():
+    store = KVStore()
+    store.put("a", 1)
+    assert store.exists("a")
+    store.delete("a")
+    assert not store.exists("a")
+    store.delete("a")  # idempotent
+
+
+def test_snapshot_value_tombstone_for_missing():
+    store = KVStore()
+    assert store.snapshot_value("nope") is TOMBSTONE
+    store.put("yes", 5)
+    assert store.snapshot_value("yes") == 5
+
+
+def test_apply_image_restores_value_and_tombstone():
+    store = KVStore()
+    store.put("a", 1)
+    image = store.snapshot_value("a")
+    store.put("a", 2)
+    store.apply_image("a", image)
+    assert store.get("a") == 1
+    store.apply_image("a", TOMBSTONE)
+    assert not store.exists("a")
+
+
+def test_keys_sorted():
+    store = KVStore()
+    for k in ("c", "a", "b"):
+        store.put(k, 0)
+    assert store.keys() == ["a", "b", "c"]
+    assert [k for k, _ in store.items()] == ["a", "b", "c"]
+
+
+def test_snapshot_restore_roundtrip():
+    store = KVStore()
+    store.put("a", 1)
+    snap = store.snapshot()
+    store.put("a", 2)
+    store.put("b", 3)
+    store.restore(snap)
+    assert store.get("a") == 1
+    assert not store.exists("b")
+
+
+def test_snapshot_is_independent_copy():
+    store = KVStore()
+    store.put("a", 1)
+    snap = store.snapshot()
+    snap["a"] = 999
+    assert store.get("a") == 1
+
+
+def test_wipe_clears_everything():
+    store = KVStore()
+    store.put("a", 1)
+    store.wipe()
+    assert len(store) == 0
+
+
+def test_read_write_counters():
+    store = KVStore()
+    store.put("a", 1)
+    store.get("a")
+    store.get_or("b")
+    store.delete("a")
+    assert store.write_count == 2
+    assert store.read_count == 2

@@ -1,0 +1,152 @@
+"""Unit tests for rollback and crash-restart recovery."""
+
+import pytest
+
+from repro.errors import RecoveryError
+from repro.storage import KVStore, RecordType, RecoveryManager, WriteAheadLog
+from repro.storage.kvstore import TOMBSTONE
+
+
+def make_engine():
+    store = KVStore("S1")
+    wal = WriteAheadLog("S1")
+    return store, wal, RecoveryManager(store, wal)
+
+
+def logged_put(store, wal, txn, key, value):
+    """Helper mirroring the transaction layer's WAL-then-store discipline."""
+    before = store.snapshot_value(key)
+    wal.append(RecordType.UPDATE, txn, key=key, before=before, after=value)
+    store.put(key, value)
+
+
+def test_rollback_restores_before_images():
+    store, wal, rec = make_engine()
+    store.put("x", 10)
+    wal.append(RecordType.BEGIN, "T1")
+    logged_put(store, wal, "T1", "x", 99)
+    logged_put(store, wal, "T1", "y", 1)
+    undone = rec.rollback("T1")
+    assert undone == 2
+    assert store.get("x") == 10
+    assert not store.exists("y")
+    assert wal.status_of("T1") is RecordType.ABORT
+
+
+def test_rollback_undoes_in_reverse_order():
+    store, wal, rec = make_engine()
+    wal.append(RecordType.BEGIN, "T1")
+    logged_put(store, wal, "T1", "x", 1)
+    logged_put(store, wal, "T1", "x", 2)
+    rec.rollback("T1")
+    assert not store.exists("x")
+
+
+def test_rollback_of_terminated_rejected():
+    store, wal, rec = make_engine()
+    wal.append(RecordType.BEGIN, "T1")
+    wal.append(RecordType.COMMIT, "T1")
+    with pytest.raises(RecoveryError):
+        rec.rollback("T1")
+
+
+def test_rollback_of_locally_committed_rejected():
+    """A locally-committed transaction exposed its updates: compensation,
+    not state-based undo, is the only legal revocation (Section 2)."""
+    store, wal, rec = make_engine()
+    wal.append(RecordType.BEGIN, "T1")
+    logged_put(store, wal, "T1", "x", 5)
+    wal.append(RecordType.LOCAL_COMMIT, "T1")
+    with pytest.raises(RecoveryError, match="compensation"):
+        rec.rollback("T1")
+
+
+def test_restart_redoes_committed():
+    store, wal, rec = make_engine()
+    wal.append(RecordType.BEGIN, "T1")
+    logged_put(store, wal, "T1", "x", 7)
+    wal.append(RecordType.COMMIT, "T1")
+    store.wipe()
+    report = rec.restart()
+    assert store.get("x") == 7
+    assert report.redone == ["T1"]
+
+
+def test_restart_redoes_locally_committed_and_reports_it():
+    store, wal, rec = make_engine()
+    wal.append(RecordType.BEGIN, "T1")
+    logged_put(store, wal, "T1", "x", 7)
+    wal.append(RecordType.PREPARE, "T1", force=True)
+    wal.append(RecordType.LOCAL_COMMIT, "T1", force=True)
+    store.wipe()
+    report = rec.restart()
+    assert store.get("x") == 7
+    assert report.locally_committed == ["T1"]
+
+
+def test_restart_undoes_in_flight():
+    store, wal, rec = make_engine()
+    wal.append(RecordType.BEGIN, "T1")
+    logged_put(store, wal, "T1", "x", 7)
+    store.wipe()
+    report = rec.restart()
+    assert not store.exists("x")
+    assert report.undone == ["T1"]
+    assert wal.is_terminated("T1")
+
+
+def test_restart_reports_in_doubt():
+    store, wal, rec = make_engine()
+    wal.append(RecordType.BEGIN, "T1")
+    logged_put(store, wal, "T1", "x", 7)
+    wal.append(RecordType.PREPARE, "T1", force=True)
+    store.wipe()
+    report = rec.restart()
+    assert report.in_doubt == ["T1"]
+    assert not wal.is_terminated("T1")
+
+
+def test_restart_mixed_outcomes():
+    store, wal, rec = make_engine()
+    for txn, outcome in (("T1", "commit"), ("T2", None), ("T3", "local")):
+        wal.append(RecordType.BEGIN, txn)
+        logged_put(store, wal, txn, f"k{txn}", txn)
+        if outcome == "commit":
+            wal.append(RecordType.COMMIT, txn)
+        elif outcome == "local":
+            wal.append(RecordType.LOCAL_COMMIT, txn)
+    store.wipe()
+    report = rec.restart()
+    assert store.get("kT1") == "T1"
+    assert store.get("kT3") == "T3"
+    assert not store.exists("kT2")
+    assert sorted(report.redone) == ["T1", "T3"]
+    assert report.undone == ["T2"]
+
+
+def test_restart_redo_applies_in_lsn_order():
+    store, wal, rec = make_engine()
+    wal.append(RecordType.BEGIN, "T1")
+    logged_put(store, wal, "T1", "x", 1)
+    wal.append(RecordType.COMMIT, "T1")
+    wal.append(RecordType.BEGIN, "T2")
+    logged_put(store, wal, "T2", "x", 2)
+    wal.append(RecordType.COMMIT, "T2")
+    store.wipe()
+    rec.restart()
+    assert store.get("x") == 2
+
+
+def test_restart_deletion_redo():
+    store, wal, rec = make_engine()
+    store.put("x", 1)
+    wal.append(RecordType.BEGIN, "T0")
+    wal.append(RecordType.UPDATE, "T0", key="x", before=TOMBSTONE, after=1)
+    wal.append(RecordType.COMMIT, "T0")
+    wal.append(RecordType.BEGIN, "T1")
+    wal.append(RecordType.UPDATE, "T1", key="x", before=1, after=TOMBSTONE)
+    store.delete("x")
+    wal.append(RecordType.COMMIT, "T1")
+    store.wipe()
+    rec.restart()
+    assert not store.exists("x")

@@ -1,0 +1,73 @@
+"""Unit tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def run_cli(capsys, *argv):
+    code = main(list(argv))
+    captured = capsys.readouterr()
+    return code, captured.out
+
+
+def test_demo_commits_and_audits(capsys):
+    code, out = run_cli(capsys, "demo")
+    assert code == 0
+    assert "COMMIT" in out
+    assert "correctness criterion: OK" in out
+    assert "restored" in out
+
+
+def test_demo_protocol_choice(capsys):
+    code, out = run_cli(capsys, "demo", "--protocol", "none")
+    assert code == 0
+
+
+def test_drill_shows_both_schemes(capsys):
+    code, out = run_cli(capsys, "drill", "--outage", "25")
+    assert code == 0
+    assert "== 2PL" in out and "== O2PC" in out
+    assert out.count("locks at S1") == 2
+
+
+def test_audit_none_flags_cycle(capsys):
+    code, out = run_cli(capsys, "audit", "--protocol", "none")
+    assert code == 0
+    assert "regular cycle" in out
+    assert "INCORRECT" in out
+
+
+def test_audit_p1_is_clean(capsys):
+    code, out = run_cli(capsys, "audit", "--protocol", "P1")
+    assert code == 0
+    assert "no regular cycle" in out
+
+
+def test_sweep_prints_table(capsys):
+    code, out = run_cli(capsys, "sweep", "--transactions", "10")
+    assert code == 0
+    assert "abort_p" in out
+    assert "thru_o2pc" in out
+
+
+def test_parser_requires_command():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])
+
+
+def test_report_writes_artifacts(tmp_path, capsys):
+    code, out = run_cli(capsys, "report", "--out", str(tmp_path))
+    assert code == 0
+    report = (tmp_path / "report.md").read_text()
+    assert "CLAIM-LOCK" in report
+    assert "CLAIM-BLOCK" in report
+    assert "CLAIM-MSG" in report
+    assert (tmp_path / "claim_lock.json").exists()
+    from repro.harness.experiment import load_results
+
+    rows = load_results(str(tmp_path / "claim_block.json"))
+    assert all(
+        r.measures["max_hold_2pl"] > r.measures["max_hold_o2pc"]
+        for r in rows
+    )
