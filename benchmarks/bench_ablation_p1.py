@@ -23,7 +23,6 @@ from repro.harness import (
     ExperimentResult,
     System,
     SystemConfig,
-    collect_metrics,
     format_table,
 )
 from repro.sg import find_regular_cycle
@@ -45,7 +44,7 @@ def run_once(quiescence, eager, seed):
         seed=seed,
     )
     elapsed = gen.run()
-    metrics = collect_metrics(system, elapsed)
+    metrics = system.metrics(elapsed)
     violated = find_regular_cycle(
         system.global_sg(), system.effective_regular_nodes()
     ) is not None

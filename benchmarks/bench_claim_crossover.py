@@ -15,7 +15,6 @@ from repro.harness import (
     ExperimentResult,
     System,
     SystemConfig,
-    collect_metrics,
     format_table,
 )
 from repro.workload import WorkloadConfig, WorkloadGenerator
@@ -35,7 +34,7 @@ def run_once(scheme, abort_probability, seed):
         seed=seed,
     )
     elapsed = gen.run()
-    return collect_metrics(system, elapsed)
+    return system.metrics(elapsed)
 
 
 @pytest.fixture(scope="module")

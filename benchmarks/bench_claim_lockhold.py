@@ -13,7 +13,6 @@ from repro.harness import (
     ExperimentResult,
     System,
     SystemConfig,
-    collect_metrics,
     format_table,
 )
 from repro.net.network import LatencyModel
@@ -36,7 +35,7 @@ def run_once(scheme, latency_base=1.0, n_sites=4, n_txns=60, seed=2):
         seed=seed,
     )
     elapsed = gen.run()
-    return collect_metrics(system, elapsed)
+    return system.metrics(elapsed)
 
 
 @pytest.fixture(scope="module")

@@ -13,7 +13,6 @@ from repro.harness import (
     ExperimentResult,
     System,
     SystemConfig,
-    collect_metrics,
     format_table,
 )
 from repro.workload import WorkloadConfig, WorkloadGenerator
@@ -38,7 +37,7 @@ def run_once(protocol, abort_probability, seed):
         seed=seed,
     )
     elapsed = gen.run()
-    metrics = collect_metrics(system, elapsed)
+    metrics = system.metrics(elapsed)
     from repro.sg import find_regular_cycle
 
     violated = find_regular_cycle(

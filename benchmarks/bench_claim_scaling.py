@@ -15,7 +15,6 @@ from repro.harness import (
     ExperimentResult,
     System,
     SystemConfig,
-    collect_metrics,
     format_table,
 )
 from repro.workload import WorkloadConfig, WorkloadGenerator
@@ -30,7 +29,7 @@ def run_once(scheme, span, seed=3):
         read_fraction=0.4, arrival_mean=3.0, zipf_theta=0.4,
     ), seed=seed)
     elapsed = gen.run()
-    return collect_metrics(system, elapsed)
+    return system.metrics(elapsed)
 
 
 @pytest.fixture(scope="module")

@@ -16,7 +16,6 @@ from repro.harness import (
     ExperimentResult,
     System,
     SystemConfig,
-    collect_metrics,
     format_table,
 )
 from repro.workload import WorkloadConfig, WorkloadGenerator
@@ -32,7 +31,7 @@ def run_once(scheme, abort_p=0.0, seed=6):
         min_sites=2, max_sites=2,
     ), seed=seed)
     elapsed = gen.run()
-    report = collect_metrics(system, elapsed)
+    report = system.metrics(elapsed)
     return report
 
 

@@ -20,7 +20,7 @@ from pathlib import Path
 sys.path.insert(0, str(Path(__file__).parent.parent / "src"))
 
 from repro.commit import CommitScheme
-from repro.harness import System, SystemConfig, collect_metrics
+from repro.harness import System, SystemConfig
 from repro.workload import banking_transfers
 
 
@@ -43,7 +43,7 @@ def run(scheme: CommitScheme) -> None:
     system.env.run()
     after = total_money(system)
 
-    report = collect_metrics(system)
+    report = system.metrics()
     print(f"\n=== {scheme.value} ===")
     print(f"transfers: {report.committed} committed, {report.aborted} aborted")
     print(f"compensations: {report.compensations}")

@@ -20,7 +20,7 @@ from pathlib import Path
 sys.path.insert(0, str(Path(__file__).parent.parent / "src"))
 
 from repro.commit import CommitScheme
-from repro.harness import System, SystemConfig, transaction_timeline
+from repro.harness import System, SystemConfig
 from repro.sg import check_atomicity_of_compensation, serialization_order
 from repro.workload import WorkloadConfig, WorkloadGenerator
 
@@ -39,7 +39,7 @@ def main() -> None:
     committed = sum(1 for o in system.outcomes if o.committed)
     print(f"{committed} committed, {len(system.outcomes) - committed} "
           f"aborted (compensated)\n")
-    print(transaction_timeline(system))
+    print(system.timeline())
 
     print("\nserialization witness (topological order of the global SG):")
     order = serialization_order(

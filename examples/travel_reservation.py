@@ -21,7 +21,7 @@ from pathlib import Path
 sys.path.insert(0, str(Path(__file__).parent.parent / "src"))
 
 from repro.commit import CommitScheme
-from repro.harness import System, SystemConfig, collect_metrics
+from repro.harness import System, SystemConfig
 from repro.workload import travel_reservations
 
 
@@ -50,7 +50,7 @@ def main() -> None:
     system.submit_stream(trips, arrival_mean=4.0)
     system.env.run()
 
-    report = collect_metrics(system)
+    report = system.metrics()
     print(f"\n{report.committed} trips booked, {report.aborted} refused")
     print(f"compensating cancellations run: {report.compensations}")
     print(f"mean booking latency: {report.mean_latency:.1f} time units")

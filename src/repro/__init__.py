@@ -22,14 +22,47 @@ Typical entry points:
 True
 >>> system.check_correctness()
 
+The blessed public surface is re-exported here: :class:`System` /
+:class:`SystemConfig` plus the observability layer (:mod:`repro.obs`) —
+:class:`MetricsReport` from :meth:`System.metrics`, :class:`Span` trees
+from :meth:`System.spans`, typed :class:`Event` streams from
+:meth:`System.events` (enable with ``SystemConfig(observability=True)``).
+
 See ``README.md`` for the architecture overview, ``DESIGN.md`` for the
-system inventory and design decisions, and ``EXPERIMENTS.md`` for the
-paper-versus-measured record of every reproduced figure and claim.
+system inventory and design decisions, ``EXPERIMENTS.md`` for the
+paper-versus-measured record of every reproduced figure and claim, and
+``docs/OBSERVABILITY.md`` for the event taxonomy and tooling.
 """
+
+from repro.harness.system import System, SystemConfig
+from repro.obs import (
+    Event,
+    EventBus,
+    Histogram,
+    MetricsReport,
+    Observability,
+    Span,
+    StreamingMetrics,
+    build_spans,
+    to_jsonl,
+)
 
 __version__ = "1.0.0"
 
 __all__ = [
+    # blessed objects
+    "Event",
+    "EventBus",
+    "Histogram",
+    "MetricsReport",
+    "Observability",
+    "Span",
+    "StreamingMetrics",
+    "System",
+    "SystemConfig",
+    "build_spans",
+    "to_jsonl",
+    # sub-packages
     "commit",
     "compensation",
     "core",
@@ -38,6 +71,7 @@ __all__ = [
     "ids",
     "locking",
     "net",
+    "obs",
     "sg",
     "sim",
     "storage",

@@ -9,7 +9,11 @@ Commands:
 * ``sweep`` — the abort-probability sweep (CLAIM-THRU's table) from the
   command line, with configurable sizes;
 * ``audit`` — the adversarial interleaving that forms a regular cycle,
-  under a chosen protocol, with the marking audit trail.
+  under a chosen protocol, with the marking audit trail;
+* ``trace`` — run a workload with observability on and emit the typed
+  event stream as deterministic JSONL (same seed → byte-identical output);
+* ``metrics`` — run a workload with streaming metrics; ``--watch`` prints
+  a snapshot per simulation window instead of only the final report.
 
 Everything is deterministic for a given ``--seed``.
 """
@@ -24,16 +28,21 @@ from repro.harness import (
     ExperimentResult,
     System,
     SystemConfig,
-    collect_metrics,
     format_table,
-    lock_gantt,
-    marking_audit,
-    transaction_timeline,
 )
 from repro.net.failures import CrashPlan
 from repro.sg import explain_cycle, find_regular_cycle, render_explanation
 from repro.txn import GlobalTxnSpec, ReadOp, SemanticOp, SubtxnSpec, VotePolicy
 from repro.workload import WorkloadConfig, WorkloadGenerator
+
+
+def _positive_float(text: str) -> float:
+    value = float(text)
+    if value <= 0:
+        raise argparse.ArgumentTypeError(
+            f"must be a positive number, got {text!r}"
+        )
+    return value
 
 
 def cmd_demo(args: argparse.Namespace) -> int:
@@ -62,7 +71,7 @@ def cmd_demo(args: argparse.Namespace) -> int:
     system.check_correctness()
     print("correctness criterion: OK")
     print()
-    print(transaction_timeline(system))
+    print(system.timeline())
     return 0
 
 
@@ -82,7 +91,7 @@ def cmd_drill(args: argparse.Namespace) -> int:
         print(f"== {scheme.value}: coordinator down for {args.outage:.0f}u ==")
         print(f"T1 {'COMMIT' if outcome.committed else 'ABORT'} "
               f"at t={outcome.end_time:.1f}")
-        print(lock_gantt(system, "S1"))
+        print(system.lock_gantt("S1"))
         print()
     print("2PL bars span the outage; O2PC bars end at the vote.")
     return 0
@@ -103,7 +112,7 @@ def cmd_sweep(args: argparse.Namespace) -> int:
                 read_fraction=0.4, arrival_mean=2.0, zipf_theta=0.6,
             ), seed=args.seed)
             elapsed = gen.run()
-            report = collect_metrics(system, elapsed)
+            report = system.metrics(elapsed)
             tag = "2pl" if scheme is CommitScheme.TWO_PL else "o2pc"
             measures[f"thru_{tag}"] = report.throughput
             measures[f"wait_{tag}"] = report.total_lock_wait
@@ -141,7 +150,7 @@ def cmd_audit(args: argparse.Namespace) -> int:
         system.global_sg(), system.effective_regular_nodes()
     )
     print(f"protocol={args.protocol}")
-    print(transaction_timeline(system))
+    print(system.timeline())
     print()
     if cycle:
         print("regular cycle:", " -> ".join(cycle), "(history INCORRECT)")
@@ -151,7 +160,7 @@ def cmd_audit(args: argparse.Namespace) -> int:
     else:
         print("no regular cycle (criterion holds)")
     print()
-    print(marking_audit(system))
+    print(system.marking_audit())
     return 0
 
 
@@ -190,7 +199,7 @@ def cmd_report(args: argparse.Namespace) -> int:
                 arrival_mean=4.0 * base,
             ), seed=args.seed)
             elapsed = gen.run()
-            report = collect_metrics(system, elapsed)
+            report = system.metrics(elapsed)
             tag = "2pl" if scheme is CommitScheme.TWO_PL else "o2pc"
             measures[f"hold_{tag}"] = report.mean_lock_hold
         measures["gap"] = measures["hold_2pl"] - measures["hold_o2pc"]
@@ -252,6 +261,80 @@ def cmd_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def _observed_run(args: argparse.Namespace) -> tuple[System, "WorkloadGenerator"]:
+    """A system with observability on plus its (unrun) workload generator."""
+    system = System(SystemConfig(
+        n_sites=args.sites, scheme=CommitScheme.O2PC,
+        protocol=args.protocol, seed=args.seed, observability=True,
+        metrics_window=getattr(args, "window", 10.0),
+    ))
+    gen = WorkloadGenerator(system, WorkloadConfig(
+        n_transactions=args.transactions, abort_probability=0.2,
+        read_fraction=0.4, arrival_mean=3.0, zipf_theta=0.5,
+    ), seed=args.seed)
+    return system, gen
+
+
+def cmd_trace(args: argparse.Namespace) -> int:
+    """Run a workload with the event bus on; emit the stream as JSONL.
+
+    The stream is deterministic: the same ``--seed`` produces byte-identical
+    output (events carry only simulation time, a gap-free sequence number,
+    and primitive fields; the JSON encoding uses sorted keys and fixed
+    separators).
+    """
+    system, gen = _observed_run(args)
+    gen.run()
+    text = system.obs.jsonl()
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            handle.write(text)
+        print(f"{len(system.events())} events -> {args.out}")
+    else:
+        sys.stdout.write(text)
+    return 0
+
+
+def cmd_metrics(args: argparse.Namespace) -> int:
+    """Run a workload with streaming metrics; report at the end or --watch."""
+    system, gen = _observed_run(args)
+    env = system.env
+    if args.watch:
+        stream = system.obs.stream
+        system.submit_stream(
+            gen.specs(), arrival_mean=gen.config.arrival_mean,
+            seed=args.seed,
+        )
+        while env.peek() < float("inf"):
+            env.run(until=env.now + args.window)
+            snap = system.metrics()
+            window_commits = stream.commit_series.value_at(
+                env.now - args.window
+            )
+            print(
+                f"t={env.now:8.1f}  committed={snap.committed:4d} "
+                f"(+{window_commits:.0f})  aborted={snap.aborted:3d}  "
+                f"msgs={snap.messages_total:5d}  "
+                f"p50={snap.p50_latency:6.2f}  p99={snap.p99_latency:6.2f}"
+            )
+        elapsed = env.now
+    else:
+        elapsed = gen.run()
+    report = system.metrics(elapsed)
+    print("== metrics ==")
+    for name in (
+        "committed", "aborted", "abort_rate", "throughput",
+        "mean_latency", "p50_latency", "p99_latency",
+        "mean_lock_hold", "mean_lock_wait",
+        "messages_total", "messages_per_txn",
+        "compensations", "deadlocks", "rejections",
+    ):
+        value = getattr(report, name)
+        shown = f"{value:.3f}" if isinstance(value, float) else str(value)
+        print(f"{name:18} {shown}")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The repro CLI argument parser."""
     parser = argparse.ArgumentParser(
@@ -260,30 +343,64 @@ def build_parser() -> argparse.ArgumentParser:
                     "SIGMOD 1991)",
     )
     parser.add_argument("--seed", type=int, default=0)
+    # Also accepted after the subcommand (``repro trace --seed 7``);
+    # SUPPRESS keeps the subparser from clobbering a top-level value.
+    seed_parent = argparse.ArgumentParser(add_help=False)
+    seed_parent.add_argument("--seed", type=int, default=argparse.SUPPRESS)
     sub = parser.add_subparsers(dest="command", required=True)
 
-    demo = sub.add_parser("demo", help="narrated end-to-end run")
+    demo = sub.add_parser("demo", parents=[seed_parent],
+                          help="narrated end-to-end run")
     demo.add_argument("--protocol", default="P1",
                       choices=["none", "saga", "P1", "P2", "SIMPLE"])
     demo.set_defaults(fn=cmd_demo)
 
-    drill = sub.add_parser("drill", help="coordinator-failure drill")
+    drill = sub.add_parser("drill", parents=[seed_parent],
+                           help="coordinator-failure drill")
     drill.add_argument("--outage", type=float, default=100.0)
     drill.set_defaults(fn=cmd_drill)
 
-    sweep = sub.add_parser("sweep", help="abort-probability sweep")
+    sweep = sub.add_parser("sweep", parents=[seed_parent],
+                           help="abort-probability sweep")
     sweep.add_argument("--transactions", type=int, default=60)
     sweep.add_argument("--sites", type=int, default=4)
     sweep.set_defaults(fn=cmd_sweep)
 
-    report = sub.add_parser("report", help="write experiment artifacts")
+    report = sub.add_parser("report", parents=[seed_parent],
+                            help="write experiment artifacts")
     report.add_argument("--out", default="results")
     report.set_defaults(fn=cmd_report)
 
-    audit = sub.add_parser("audit", help="regular-cycle audit")
+    audit = sub.add_parser("audit", parents=[seed_parent],
+                           help="regular-cycle audit")
     audit.add_argument("--protocol", default="none",
                        choices=["none", "saga", "P1", "P2", "SIMPLE"])
     audit.set_defaults(fn=cmd_audit)
+
+    trace = sub.add_parser(
+        "trace", parents=[seed_parent],
+        help="emit a deterministic JSONL event trace",
+    )
+    trace.add_argument("--transactions", type=int, default=20)
+    trace.add_argument("--sites", type=int, default=3)
+    trace.add_argument("--protocol", default="P1",
+                       choices=["none", "saga", "P1", "P2", "SIMPLE"])
+    trace.add_argument("--out", default=None,
+                       help="write JSONL here instead of stdout")
+    trace.set_defaults(fn=cmd_trace)
+
+    metrics = sub.add_parser(
+        "metrics", parents=[seed_parent],
+        help="streaming metrics over a workload",
+    )
+    metrics.add_argument("--transactions", type=int, default=40)
+    metrics.add_argument("--sites", type=int, default=3)
+    metrics.add_argument("--protocol", default="P1",
+                         choices=["none", "saga", "P1", "P2", "SIMPLE"])
+    metrics.add_argument("--watch", action="store_true",
+                         help="print one snapshot per simulation window")
+    metrics.add_argument("--window", type=_positive_float, default=10.0)
+    metrics.set_defaults(fn=cmd_metrics)
     return parser
 
 

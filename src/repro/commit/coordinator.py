@@ -31,6 +31,13 @@ from repro.core.protocols import MarkingProtocol, NoProtocol
 from repro.net.failures import FailureInjector
 from repro.net.message import Message, MsgType
 from repro.net.network import Network
+from repro.obs.events import (
+    DecisionReached,
+    PhaseEntered,
+    TxnSubmitted,
+    TxnTerminated,
+    VoteRecorded,
+)
 from repro.sim.engine import Environment
 from repro.txn.transaction import GlobalTxnSpec, TxnOutcome
 
@@ -68,17 +75,38 @@ class Coordinator:
         outcome = self.outcome
         outcome.start_time = self.env.now
         txn_id = self.spec.txn_id
+        bus = self.env.bus
+        if bus.enabled:
+            bus.publish(TxnSubmitted(
+                txn_id=txn_id, sites=tuple(self.spec.site_ids),
+            ))
+            bus.publish(PhaseEntered(txn_id=txn_id, phase="spawn"))
         self.marking.register_execution(txn_id, self.spec.site_ids)
 
         executed_sites, ok = yield from self._spawn_phase()
         if not ok:
+            if bus.enabled:
+                bus.publish(DecisionReached(txn_id=txn_id, decision="ABORT"))
             yield from self._abort_executed(executed_sites)
             outcome.decision_time = self.env.now
             outcome.end_time = self.env.now
             self.marking.on_transaction_terminated(txn_id)
+            if bus.enabled:
+                bus.publish(TxnTerminated(
+                    txn_id=txn_id, committed=False,
+                    latency=outcome.end_time - outcome.start_time,
+                    compensated_sites=tuple(outcome.compensated_sites),
+                ))
             return outcome
 
+        if bus.enabled:
+            bus.publish(PhaseEntered(txn_id=txn_id, phase="vote"))
         votes = yield from self._vote_phase()
+        if bus.enabled:
+            for site, vote in sorted(votes.items()):
+                bus.publish(VoteRecorded(
+                    txn_id=txn_id, site_id=site, vote=vote,
+                ))
         decision = (
             "COMMIT"
             if all(v == "YES" for v in votes.values())
@@ -96,6 +124,9 @@ class Coordinator:
         self.decision_log.append(decision)
         outcome.decision_time = self.env.now
         outcome.committed = decision == "COMMIT"
+        if bus.enabled:
+            bus.publish(DecisionReached(txn_id=txn_id, decision=decision))
+            bus.publish(PhaseEntered(txn_id=txn_id, phase="decision"))
 
         acks = yield from self._decision_phase(decision, executed_sites)
         outcome.compensated_sites = sorted(
@@ -104,6 +135,12 @@ class Coordinator:
         )
         outcome.end_time = self.env.now
         self.marking.on_transaction_terminated(txn_id)
+        if bus.enabled:
+            bus.publish(TxnTerminated(
+                txn_id=txn_id, committed=outcome.committed,
+                latency=outcome.end_time - outcome.start_time,
+                compensated_sites=tuple(outcome.compensated_sites),
+            ))
         return outcome
 
     # -- phase 0: subtransaction execution --------------------------------------------

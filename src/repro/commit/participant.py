@@ -45,6 +45,17 @@ from repro.core.protocols import MarkingProtocol, NoProtocol
 from repro.errors import DeadlockDetected, LockTimeout, TransactionAborted
 from repro.net.message import Message, MsgType
 from repro.net.network import Network
+from repro.obs.events import (
+    DecisionApplied,
+    LocallyCommitted,
+    Prepared,
+    SiteCrashed,
+    SiteRecovered,
+    SubtxnExecuted,
+    SubtxnFailed,
+    SubtxnRejected,
+    SubtxnStarted,
+)
 from repro.txn.operations import Op
 from repro.txn.site import Site
 from repro.txn.transaction import TxnStatus, VotePolicy
@@ -126,6 +137,12 @@ class Participant:
 
         check = self.marking.check_spawn(txn_id, self.site.site_id, transmarks)
         if not check.ok:
+            bus = self.env.bus
+            if bus.enabled:
+                bus.publish(SubtxnRejected(
+                    txn_id=txn_id, site_id=self.site.site_id,
+                    retriable=check.retriable, reason=check.reason,
+                ))
             self._reply(msg, MsgType.SUBTXN_ACK, {
                 "executed": False,
                 "rejected": True,
@@ -142,6 +159,9 @@ class Participant:
         )
         self.subtxns[txn_id] = state
 
+        bus = self.env.bus
+        if bus.enabled:
+            bus.publish(SubtxnStarted(txn_id=txn_id, site_id=self.site.site_id))
         self.site.ltm.begin(txn_id)
         try:
             if self.lock_marks and not isinstance(self.marking, NoProtocol):
@@ -157,6 +177,11 @@ class Participant:
         except (DeadlockDetected, LockTimeout) as exc:
             ct_id = self.site.ltm.rollback_subtxn(txn_id)
             self.marking.on_vote_abort(txn_id, self.site.site_id)
+            if bus.enabled:
+                bus.publish(SubtxnFailed(
+                    txn_id=txn_id, site_id=self.site.site_id,
+                    reason=type(exc).__name__,
+                ))
             self._reply(msg, MsgType.SUBTXN_ACK, {
                 "executed": False,
                 "rejected": False,
@@ -169,6 +194,11 @@ class Participant:
             # An abort decision arrived while we were blocked on a lock:
             # the decision handler already rolled the subtransaction back;
             # just report execution failure (the coordinator has moved on).
+            if bus.enabled:
+                bus.publish(SubtxnFailed(
+                    txn_id=txn_id, site_id=self.site.site_id,
+                    reason="aborted while blocked",
+                ))
             self._reply(msg, MsgType.SUBTXN_ACK, {
                 "executed": False,
                 "rejected": False,
@@ -178,6 +208,10 @@ class Participant:
             return
 
         state.executed = True
+        if bus.enabled:
+            bus.publish(SubtxnExecuted(
+                txn_id=txn_id, site_id=self.site.site_id,
+            ))
         # Witness recording for UDUM1 (rule R3 fires inside when enabled).
         self.marking.on_executed(txn_id, self.site.site_id)
         self._reply(msg, MsgType.SUBTXN_ACK, {
@@ -229,12 +263,21 @@ class Participant:
             return
 
         assert state is not None
+        bus = self.env.bus
         if self.scheme is CommitScheme.O2PC and not state.real_action:
             # The O2PC move: locally commit, release every lock at once.
             self.site.ltm.local_commit(txn_id)
+            if bus.enabled:
+                bus.publish(LocallyCommitted(
+                    txn_id=txn_id, site_id=self.site.site_id,
+                ))
         else:
             # Distributed 2PL (or a real-action site): prepare, hold locks.
             self.site.ltm.prepare(txn_id)
+            if bus.enabled:
+                bus.publish(Prepared(
+                    txn_id=txn_id, site_id=self.site.site_id,
+                ))
         if self.scheme is CommitScheme.O2PC:
             self.marking.on_vote_commit(txn_id, self.site.site_id)
         state.voted = "YES"
@@ -254,6 +297,7 @@ class Participant:
             return
         state.decided = decision
         status = self.site.ltm.status.get(txn_id)
+        bus = self.env.bus
 
         if decision == "COMMIT":
             if state.recovered and status is TxnStatus.PREPARED:
@@ -263,12 +307,22 @@ class Participant:
                 self.site.ltm.complete_commit(txn_id)
             if self.scheme is CommitScheme.O2PC:
                 self.marking.on_decision_commit(txn_id, self.site.site_id)
+            if bus.enabled:
+                bus.publish(DecisionApplied(
+                    txn_id=txn_id, site_id=self.site.site_id,
+                    decision=decision, compensated=False,
+                ))
             self._reply(msg, MsgType.ACK, {"compensated": False})
             return
 
         # ABORT decision.
         if state.recovered and status is TxnStatus.PREPARED:
             self.site.ltm.abort_recovered(txn_id)
+            if bus.enabled:
+                bus.publish(DecisionApplied(
+                    txn_id=txn_id, site_id=self.site.site_id,
+                    decision=decision, compensated=False,
+                ))
             self._reply(msg, MsgType.ACK, {"compensated": False})
             return
         if status is TxnStatus.LOCALLY_COMMITTED:
@@ -291,6 +345,11 @@ class Participant:
                     )
                 else:
                     self.marking.on_vote_abort(txn_id, self.site.site_id)
+        if bus.enabled:
+            bus.publish(DecisionApplied(
+                txn_id=txn_id, site_id=self.site.site_id,
+                decision=decision, compensated=state.compensated,
+            ))
         self._reply(msg, MsgType.ACK, {"compensated": state.compensated})
 
     # -- crash / recovery -----------------------------------------------------------------
@@ -302,6 +361,9 @@ class Participant:
         (``subtxns``) is wiped along with the site's store and lock table.
         The write-ahead log survives and drives :meth:`recover`.
         """
+        bus = self.env.bus
+        if bus.enabled:
+            bus.publish(SiteCrashed(site_id=self.site.site_id))
         self.site.crash()
         self.subtxns.clear()
 
@@ -319,6 +381,13 @@ class Participant:
           compensate on ABORT exactly as if the crash never happened.
         """
         report = self.site.restart()
+        bus = self.env.bus
+        if bus.enabled:
+            bus.publish(SiteRecovered(
+                site_id=self.site.site_id,
+                in_doubt=tuple(sorted(report.in_doubt)),
+                locally_committed=tuple(sorted(report.locally_committed)),
+            ))
         for txn_id in report.in_doubt:
             state = _SubtxnState(
                 txn_id=txn_id, ops=[], vote_policy=VotePolicy.AUTO,

@@ -25,6 +25,7 @@ from typing import TYPE_CHECKING
 
 from repro.errors import DeadlockDetected, PersistenceViolation
 from repro.ids import compensation_id
+from repro.obs.events import CompensationFinished, CompensationStarted
 from repro.txn.operations import Op, WriteOp
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (Site imports us)
@@ -113,6 +114,11 @@ class CompensationExecutor:
         ltm = self.site.ltm
         self.stats.started += 1
         started_at = self.site.env.now
+        bus = self.site.env.bus
+        if bus.enabled:
+            bus.publish(CompensationStarted(
+                txn_id=txn_id, ct_id=ct_id, site_id=self.site.site_id,
+            ))
 
         attempts = 0
         while True:
@@ -140,4 +146,9 @@ class CompensationExecutor:
         ltm.mark_compensated(txn_id)
         self.stats.completed += 1
         self.stats.log.append((ct_id, started_at, self.site.env.now))
+        if bus.enabled:
+            bus.publish(CompensationFinished(
+                txn_id=txn_id, ct_id=ct_id, site_id=self.site.site_id,
+                retries=attempts - 1,
+            ))
         return ct_id

@@ -23,6 +23,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.core.marking import MarkingEvent, MarkingStateMachine
+from repro.obs.events import EventBus, MarkApplied, MarkCleared
 
 #: reserved data-item name for a site's marking set when it is stored "as
 #: part of the database" and locked under 2PL (Section 6.2's first option —
@@ -62,6 +63,8 @@ class MarkingDirectory:
     #: ablation switch: disable the quiescence-based clearing rule, leaving
     #: UDUM1 as the only way marks dissolve (the paper's literal setup)
     quiescence_enabled: bool = True
+    #: observability bus (attached by the System; None when standalone)
+    bus: EventBus | None = None
 
     def machine(self, site_id: str) -> MarkingStateMachine:
         """The marking state machine of ``site_id``."""
@@ -114,6 +117,9 @@ class MarkingDirectory:
             if txn_id in machine.undone_set():
                 machine.fire(txn_id, MarkingEvent.UDUM)
             return
+        bus = self.bus
+        if bus is not None and bus.enabled:
+            bus.publish(MarkApplied(txn_id=txn_id, site_id=site_id))
         self.marked_sites.setdefault(txn_id, set()).add(site_id)
         self.blockers.setdefault(txn_id, set()).update(
             (self.active & self.executed_any) - {txn_id}
@@ -147,6 +153,11 @@ class MarkingDirectory:
                 still_marked = True
         if still_marked:
             self.quiescence_log.append((marked, enabler))
+            bus = self.bus
+            if bus is not None and bus.enabled:
+                bus.publish(MarkCleared(
+                    txn_id=marked, rule="quiescence", enabler=enabler,
+                ))
         self.cleared.add(marked)
 
     def note_terminated(self, txn_id: str) -> list[str]:
@@ -215,5 +226,10 @@ class MarkingDirectory:
             if txn_id in machine.undone_set():
                 machine.fire(txn_id, MarkingEvent.UDUM)
         self.udum_log.append((txn_id, enabling_witness))
+        bus = self.bus
+        if bus is not None and bus.enabled:
+            bus.publish(MarkCleared(
+                txn_id=txn_id, rule="UDUM1", enabler=enabling_witness,
+            ))
         self.witnesses.pop(txn_id, None)
         self.cleared.add(txn_id)

@@ -33,6 +33,7 @@ from dataclasses import dataclass, field
 
 from repro.core.marking import MarkingEvent
 from repro.core.marks import MarkingDirectory
+from repro.obs.events import MarkingRejected
 
 
 @dataclass
@@ -119,6 +120,19 @@ class MarkingProtocol:
             self.directory.apply_udum(enabled, observer_txn)
 
     # -- helpers ---------------------------------------------------------------------
+
+    def _reject(
+        self, txn_id: str, site_id: str, retriable: bool, reason: str
+    ) -> CheckResult:
+        """Count (and report) one R1 rejection."""
+        self.rejections += 1
+        bus = self.directory.bus
+        if bus is not None and bus.enabled:
+            bus.publish(MarkingRejected(
+                protocol=self.name, txn_id=txn_id, site_id=site_id,
+                retriable=retriable, reason=reason,
+            ))
+        return CheckResult(ok=False, retriable=retriable, reason=reason)
 
     def _live(self, marks: set[str]) -> set[str]:
         """Marks not yet cleared (by UDUM or the quiescence rule)."""
@@ -227,15 +241,13 @@ class P1Protocol(MarkingProtocol):
                 doomed.add(mark)
         if not missing and not doomed:
             return CheckResult(ok=True)
-        self.rejections += 1
         # Always retriable: the marked transaction's remaining roll-backs /
         # compensations will extend its undone set, or rule R3 (UDUM) will
         # clear the mark once witnesses cover its execution sites.  The
         # coordinator's bounded retry budget converts a persistent
         # incompatibility into the abort Section 6.2 describes.
-        return CheckResult(
-            ok=False,
-            retriable=True,
+        return self._reject(
+            txn_id, site_id, retriable=True,
             reason=(
                 f"marks {sorted(missing)} absent at {site_id}; "
                 f"marks {sorted(doomed)} not satisfiable at all sites"
@@ -293,7 +305,6 @@ class P2Protocol(MarkingProtocol):
         missing = self._missing(site_id, transmarks)
         if not missing:
             return CheckResult(ok=True)
-        self.rejections += 1
         # Retriable only while every missing mark can still appear here:
         # the marked transaction executed at this site and has not been
         # rolled back here (a site undone with respect to it will never be
@@ -303,9 +314,8 @@ class P2Protocol(MarkingProtocol):
             and m not in self.sitemarks(site_id)
             for m in missing
         )
-        return CheckResult(
-            ok=False,
-            retriable=retriable,
+        return self._reject(
+            txn_id, site_id, retriable=retriable,
             reason=f"LC marks {sorted(missing)} absent at {site_id}",
         )
 
@@ -345,16 +355,14 @@ class SimpleProtocol(MarkingProtocol):
         self, txn_id: str, site_id: str, transmarks: set[str]
     ) -> CheckResult:
         if self.directory.lc_marks(site_id):
-            self.rejections += 1
-            return CheckResult(
-                ok=False, retriable=True,
+            return self._reject(
+                txn_id, site_id, retriable=True,
                 reason=f"{site_id} is locally-committed wrt some transaction",
             )
         here = self.sitemarks(site_id)
         if txn_id in self._joined and self._live(transmarks) != self._live(here):
-            self.rejections += 1
-            return CheckResult(
-                ok=False, retriable=True,
+            return self._reject(
+                txn_id, site_id, retriable=True,
                 reason=f"undone sets differ at {site_id}",
             )
         return CheckResult(ok=True)

@@ -2,11 +2,13 @@
 
 :class:`~repro.harness.system.System` wires a full multidatabase out of the
 substrates (simulation kernel, network, sites, participants, marking
-protocol) and exposes one-call transaction submission.
-:mod:`repro.harness.metrics` aggregates the raw logs (lock holds, waits,
-message counters, outcomes) into the quantities the paper's claims are
-about.  :mod:`repro.harness.experiment` provides parameter sweeps and table
-formatting for the benchmark suite and EXPERIMENTS.md.
+protocol) and exposes one-call transaction submission plus the
+observability surface (:meth:`System.metrics`, :meth:`System.timeline`,
+:meth:`System.events`; see :mod:`repro.obs`).
+:mod:`repro.harness.experiment` provides parameter sweeps and table
+formatting for the benchmark suite and EXPERIMENTS.md.  The old
+free-function entry points (``collect_metrics``, ``transaction_timeline``,
+``lock_gantt``, ``marking_audit``) remain as deprecation shims.
 """
 
 from repro.harness.experiment import ExperimentResult, Sweep, format_table

@@ -1,103 +1,38 @@
-"""Metric aggregation over a finished (or running) :class:`System`.
+"""Deprecated shim: the metrics layer moved to :mod:`repro.obs.metrics`.
 
-The quantities the paper's claims speak about:
-
-* **lock-hold time** — how long locks are held (O2PC's whole point is to
-  shrink this by one decision round, and by the entire outage when the
-  coordinator fails);
-* **lock-wait time** — time requests spend blocked (data contention);
-* **throughput / latency** — committed transactions per time unit;
-* **message counts per transaction** — O2PC must add none;
-* **compensation counts** — the overhead side of the optimistic bet;
-* **deadlocks, rejections** — concurrency-control overheads.
+Kept so existing imports (``from repro.harness.metrics import
+collect_metrics``) keep working.  New code should call
+:meth:`System.metrics() <repro.harness.system.System.metrics>` — streaming
+when observability is enabled, the exact log-scraping path otherwise — or
+use :mod:`repro.obs.metrics` directly.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import warnings
 from typing import TYPE_CHECKING
+
+from repro.obs.metrics import (  # noqa: F401 - re-exports for old callers
+    MetricsReport,
+    mean,
+    percentile,
+    report_from_logs,
+)
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.harness.system import System
 
-
-def mean(values: list[float]) -> float:
-    """Arithmetic mean; 0.0 for the empty list."""
-    return sum(values) / len(values) if values else 0.0
-
-
-def percentile(values: list[float], p: float) -> float:
-    """The ``p``-th percentile (nearest-rank); 0.0 for the empty list."""
-    if not values:
-        return 0.0
-    ordered = sorted(values)
-    rank = max(0, min(len(ordered) - 1, round(p / 100 * (len(ordered) - 1))))
-    return ordered[rank]
-
-
-@dataclass
-class MetricsReport:
-    """Aggregated metrics of one run."""
-
-    committed: int = 0
-    aborted: int = 0
-    mean_latency: float = 0.0
-    p99_latency: float = 0.0
-    throughput: float = 0.0
-    mean_lock_hold: float = 0.0
-    max_lock_hold: float = 0.0
-    mean_lock_wait: float = 0.0
-    total_lock_wait: float = 0.0
-    messages_total: int = 0
-    messages_by_type: dict[str, int] = field(default_factory=dict)
-    messages_per_txn: float = 0.0
-    compensations: int = 0
-    compensation_retries: int = 0
-    deadlocks: int = 0
-    rejections: int = 0
-    forced_log_writes: int = 0
-
-    @property
-    def abort_rate(self) -> float:
-        """Fraction of terminated transactions that aborted."""
-        total = self.committed + self.aborted
-        return self.aborted / total if total else 0.0
+__all__ = ["MetricsReport", "collect_metrics", "mean", "percentile"]
 
 
 def collect_metrics(
     system: "System", elapsed: float | None = None
 ) -> MetricsReport:
-    """Aggregate a system's raw logs into a :class:`MetricsReport`."""
-    report = MetricsReport()
-    outcomes = system.outcomes
-    report.committed = sum(1 for o in outcomes if o.committed)
-    report.aborted = sum(1 for o in outcomes if not o.committed)
-    latencies = [o.latency for o in outcomes]
-    report.mean_latency = mean(latencies)
-    report.p99_latency = percentile(latencies, 99)
-    elapsed = elapsed if elapsed is not None else system.env.now
-    if elapsed > 0:
-        report.throughput = report.committed / elapsed
-
-    holds: list[float] = []
-    waits: list[float] = []
-    for site in system.sites.values():
-        holds.extend(h.duration for h in site.locks.hold_log)
-        waits.extend(w for _, _, w in site.locks.wait_log)
-        report.deadlocks += len(site.locks.detector.detected)
-        report.forced_log_writes += site.wal.forced_writes
-    report.mean_lock_hold = mean(holds)
-    report.max_lock_hold = max(holds) if holds else 0.0
-    report.mean_lock_wait = mean(waits)
-    report.total_lock_wait = sum(waits)
-
-    report.messages_total = system.network.total_sent()
-    report.messages_by_type = system.network.counts_by_type()
-    if outcomes:
-        report.messages_per_txn = report.messages_total / len(outcomes)
-
-    for participant in system.participants.values():
-        report.compensations += participant.compensator.stats.completed
-        report.compensation_retries += participant.compensator.stats.retries
-    report.rejections = system.marking.rejections
-    return report
+    """Deprecated alias: use :meth:`System.metrics`."""
+    warnings.warn(
+        "collect_metrics() is deprecated; use System.metrics() "
+        "(or repro.obs.metrics.report_from_logs)",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return report_from_logs(system, elapsed)

@@ -9,7 +9,11 @@ sites, participants, and the marking protocol, and provides:
   site (subject only to local strict 2PL: autonomy);
 * :meth:`System.global_history` / :meth:`System.global_sg` — collect the
   recorded histories into the theory layer's structures;
-* :meth:`System.check_correctness` — the paper's criterion on the run.
+* :meth:`System.check_correctness` — the paper's criterion on the run;
+* :meth:`System.metrics` / :meth:`System.events` / :meth:`System.spans` /
+  :meth:`System.timeline` / :meth:`System.lock_gantt` /
+  :meth:`System.marking_audit` — the observability surface (see
+  :mod:`repro.obs`).
 """
 
 from __future__ import annotations
@@ -28,10 +32,19 @@ from repro.core.protocols import (
     SagaMode,
     SimpleProtocol,
 )
-from repro.errors import DeadlockDetected
+from repro.errors import DeadlockDetected, LockTimeout
 from repro.ids import site_id as make_site_id
 from repro.net.failures import FailureInjector
 from repro.net.network import LatencyModel, Network
+from repro.obs.events import Event
+from repro.obs.hub import Observability
+from repro.obs.metrics import MetricsReport, report_from_logs
+from repro.obs.render import (
+    render_lock_gantt,
+    render_marking_audit,
+    render_timeline,
+)
+from repro.obs.spans import Span
 from repro.sg.cycles import assert_correct
 from repro.sg.graph import GlobalSG
 from repro.sg.history import GlobalHistory
@@ -59,8 +72,10 @@ class SystemConfig:
 
     n_sites: int = 3
     scheme: CommitScheme = CommitScheme.O2PC
-    #: marking protocol: "none", "saga", "P1", "P2", or "SIMPLE"
-    protocol: str = "none"
+    #: marking protocol: "none", "saga", "P1", "P2", or "SIMPLE" — or a
+    #: ready-built :class:`~repro.core.protocols.MarkingProtocol` instance
+    #: (its directory is adopted by the system)
+    protocol: str | MarkingProtocol = "none"
     seed: int = 0
     latency: LatencyModel = field(default_factory=lambda: LatencyModel(base=1.0))
     message_loss: float = 0.0
@@ -82,6 +97,26 @@ class SystemConfig:
     quiescence_clearing: bool = True
     #: ablation: P1's eager full-rule evaluation at spawn
     p1_eager_rule: bool = True
+    #: record typed events on the system's bus (spans, streaming metrics,
+    #: JSONL export); off by default — a disabled bus costs one branch per
+    #: would-be event
+    observability: bool = False
+    #: window size (simulation time) of the streaming metrics' time series
+    metrics_window: float = 10.0
+
+    def __post_init__(self) -> None:
+        if self.metrics_window <= 0:
+            raise ValueError(
+                f"metrics_window must be positive, got {self.metrics_window}"
+            )
+        if isinstance(self.protocol, MarkingProtocol):
+            return
+        if self.protocol not in PROTOCOLS:
+            valid = ", ".join(sorted(PROTOCOLS))
+            raise ValueError(
+                f"unknown marking protocol {self.protocol!r}: "
+                f"expected one of {valid}, or a MarkingProtocol instance"
+            )
 
 
 class System:
@@ -98,13 +133,24 @@ class System:
             loss_probability=self.config.message_loss,
         )
         self.failures = FailureInjector(self.env, self.network)
-        self.directory = MarkingDirectory()
+        if isinstance(self.config.protocol, MarkingProtocol):
+            # A ready-built protocol: adopt it (and its directory) as-is.
+            self.marking: MarkingProtocol = self.config.protocol
+            self.directory = self.marking.directory
+        else:
+            self.directory = MarkingDirectory()
+            self.marking = PROTOCOLS[self.config.protocol](
+                directory=self.directory
+            )
+            if isinstance(self.marking, P1Protocol):
+                self.marking.eager_rule = self.config.p1_eager_rule
         self.directory.quiescence_enabled = self.config.quiescence_clearing
-        self.marking: MarkingProtocol = PROTOCOLS[self.config.protocol](
-            directory=self.directory
+        self.directory.bus = self.env.bus
+        self.obs = Observability(
+            self.env.bus, window=self.config.metrics_window
         )
-        if isinstance(self.marking, P1Protocol):
-            self.marking.eager_rule = self.config.p1_eager_rule
+        if self.config.observability:
+            self.obs.enable()
         self.sites: dict[str, Site] = {}
         self.participants: dict[str, Participant] = {}
         for n in range(1, self.config.n_sites + 1):
@@ -113,7 +159,7 @@ class System:
                 self.env, sid, op_duration=self.config.op_duration,
                 lock_timeout=self.config.lock_timeout,
             )
-            if self.config.protocol not in ("none", "saga"):
+            if not isinstance(self.marking, NoProtocol):
                 from repro.core.marks import MARKS_KEY
 
                 site.marks_key = MARKS_KEY
@@ -213,8 +259,9 @@ class System:
         """Run an independent local transaction at one site.
 
         Local transactions bypass the commit protocols and marking checks
-        entirely (site autonomy); deadlock victims are retried.  After
-        committing, the transaction is recorded as a UDUM1 witness.
+        entirely (site autonomy); deadlock victims and lock-wait timeouts
+        are retried.  After committing, the transaction is recorded as a
+        UDUM1 witness.
         """
         site = self.sites[site_id]
 
@@ -226,7 +273,7 @@ class System:
                     site.ltm.commit(txn_id)
                     self.marking.on_executed(txn_id, site_id)
                     return True
-                except DeadlockDetected:
+                except (DeadlockDetected, LockTimeout):
                     site.ltm.abort_local(txn_id)
                     site.ltm.status.pop(txn_id, None)
                     yield self.env.timeout(retry_delay)
@@ -280,3 +327,50 @@ class System:
         """
         regular = None if strict else self.effective_regular_nodes()
         assert_correct(self.global_sg(), regular)
+
+    # -- observability surface ----------------------------------------------------------
+
+    def enable_observability(self) -> None:
+        """Start recording typed events (idempotent; see :mod:`repro.obs`)."""
+        self.obs.enable()
+
+    def events(self) -> list[Event]:
+        """Every recorded event, in publish order (empty when disabled)."""
+        return self.obs.events()
+
+    def spans(self) -> dict[str, Span]:
+        """Per-transaction span trees folded from the recorded events."""
+        return self.obs.spans()
+
+    def metrics(self, elapsed: float | None = None) -> MetricsReport:
+        """Aggregated metrics of the run so far.
+
+        With observability enabled the report comes from the streaming
+        aggregator (O(1) per event, histogram percentiles); otherwise from
+        the exact post-hoc scan of the raw logs.  ``elapsed`` overrides the
+        wall-clock denominator used for throughput (defaults to the current
+        simulation time).
+        """
+        if not self.obs.enabled:
+            return report_from_logs(self, elapsed)
+        report = self.obs.report(
+            elapsed if elapsed is not None else self.env.now
+        )
+        # Forced log writes are a storage-layer counter, not a bus event.
+        for site in self.sites.values():
+            report.forced_log_writes += site.wal.forced_writes
+        return report
+
+    def timeline(self, width: int = 50) -> str:
+        """Text timeline: one line per terminated global transaction."""
+        return render_timeline(self, width)
+
+    def lock_gantt(
+        self, site_id: str, width: int = 50, keys: list[str] | None = None
+    ) -> str:
+        """Text Gantt chart of lock-hold intervals at one site."""
+        return render_lock_gantt(self, site_id, width, keys)
+
+    def marking_audit(self) -> str:
+        """Chronology of marking transitions and clearings."""
+        return render_marking_audit(self)

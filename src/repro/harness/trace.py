@@ -1,100 +1,53 @@
-"""Text timelines: render what a run did, for humans.
+"""Deprecated shim: the text renderers moved to :mod:`repro.obs.render`.
 
-Two renderers over a finished (or running) :class:`~repro.harness.system.System`:
-
-* :func:`transaction_timeline` — one line per global transaction: submit →
-  decision → termination, with outcome and compensation annotations;
-* :func:`lock_gantt` — per site, one line per (transaction, key) hold
-  interval, drawn as a bar over a discretized time axis.  The O2PC-vs-2PL
-  story is visible at a glance: O2PC bars end at the vote, 2PL bars extend
-  through the decision round (or an entire coordinator outage).
-
-Both return plain strings; the ``failure_drill`` example prints them.
+Kept so existing imports (``from repro.harness.trace import
+transaction_timeline``) keep working.  New code should call the
+:class:`~repro.harness.system.System` methods — :meth:`System.timeline`,
+:meth:`System.lock_gantt`, :meth:`System.marking_audit`.
 """
 
 from __future__ import annotations
 
+import warnings
 from typing import TYPE_CHECKING
+
+from repro.obs.render import (  # noqa: F401 - re-export (tests use _bar)
+    _bar,
+    render_lock_gantt,
+    render_marking_audit,
+    render_timeline,
+)
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.harness.system import System
 
+__all__ = ["lock_gantt", "marking_audit", "transaction_timeline"]
 
-def _bar(start: float, end: float, t0: float, t1: float, width: int) -> str:
-    """Render one [start, end] interval on a [t0, t1] axis of ``width``."""
-    span = max(t1 - t0, 1e-9)
-    left = int((start - t0) / span * width)
-    right = max(left + 1, int((end - t0) / span * width))
-    left = max(0, min(width - 1, left))
-    right = max(1, min(width, right))
-    return " " * left + "#" * (right - left) + " " * (width - right)
+
+def _warn(name: str, replacement: str) -> None:
+    warnings.warn(
+        f"{name}() is deprecated; use {replacement}",
+        DeprecationWarning,
+        stacklevel=3,
+    )
 
 
 def transaction_timeline(system: "System", width: int = 50) -> str:
-    """One line per terminated global transaction."""
-    outcomes = sorted(system.outcomes, key=lambda o: o.start_time)
-    if not outcomes:
-        return "(no transactions)"
-    t0 = min(o.start_time for o in outcomes)
-    t1 = max(o.end_time for o in outcomes)
-    lines = [
-        f"transactions  t={t0:.1f} .. {t1:.1f}  "
-        f"(axis width {width} chars)"
-    ]
-    for outcome in outcomes:
-        verdict = "COMMIT" if outcome.committed else "ABORT "
-        extras = []
-        if outcome.no_votes:
-            extras.append(f"NO@{','.join(outcome.no_votes)}")
-        if outcome.compensated_sites:
-            extras.append(f"CT@{','.join(outcome.compensated_sites)}")
-        if outcome.rejections:
-            extras.append(f"rej x{outcome.rejections}")
-        bar = _bar(outcome.start_time, outcome.end_time, t0, t1, width)
-        lines.append(
-            f"{outcome.txn_id:>5} |{bar}| {verdict} "
-            f"{' '.join(extras)}".rstrip()
-        )
-    return "\n".join(lines)
+    """Deprecated alias: use :meth:`System.timeline`."""
+    _warn("transaction_timeline", "System.timeline()")
+    return render_timeline(system, width)
 
 
 def lock_gantt(
     system: "System", site_id: str, width: int = 50,
     keys: list[str] | None = None,
 ) -> str:
-    """Per-(transaction, key) lock-hold bars at one site."""
-    site = system.sites[site_id]
-    holds = [
-        h for h in site.locks.hold_log
-        if keys is None or h.key in keys
-    ]
-    if not holds:
-        return f"{site_id}: (no lock holds)"
-    t0 = min(h.granted_at for h in holds)
-    t1 = max(h.released_at for h in holds)
-    lines = [f"locks at {site_id}  t={t0:.1f} .. {t1:.1f}"]
-    for hold in sorted(holds, key=lambda h: (h.granted_at, h.key)):
-        bar = _bar(hold.granted_at, hold.released_at, t0, t1, width)
-        lines.append(
-            f"{hold.txn_id:>5} {hold.mode.value} {hold.key:<6} |{bar}| "
-            f"{hold.duration:.1f}"
-        )
-    return "\n".join(lines)
+    """Deprecated alias: use :meth:`System.lock_gantt`."""
+    _warn("lock_gantt", "System.lock_gantt(site_id)")
+    return render_lock_gantt(system, site_id, width, keys)
 
 
 def marking_audit(system: "System") -> str:
-    """Chronology of marking transitions and clearings across all sites."""
-    directory = system.marking.directory
-    lines = ["marking transitions (site: txn old --event--> new)"]
-    for site_id in sorted(directory.machines):
-        for txn, old, event, new in directory.machines[site_id].transitions:
-            lines.append(
-                f"  {site_id}: {txn} {old.value} --{event.value}--> {new.value}"
-            )
-    if directory.udum_log:
-        lines.append("UDUM clearings (txn <- enabling witness)")
-        lines.extend(f"  {t} <- {w}" for t, w in directory.udum_log)
-    if directory.quiescence_log:
-        lines.append("quiescence clearings (txn <- last blocker)")
-        lines.extend(f"  {t} <- {w}" for t, w in directory.quiescence_log)
-    return "\n".join(lines)
+    """Deprecated alias: use :meth:`System.marking_audit`."""
+    _warn("marking_audit", "System.marking_audit()")
+    return render_marking_audit(system)

@@ -25,6 +25,13 @@ from dataclasses import dataclass
 from repro.errors import DeadlockDetected, LockNotHeld, TwoPhaseViolation
 from repro.locking.deadlock import DeadlockDetector, WaitsForGraph
 from repro.locking.modes import LockMode, compatible_modes, stronger
+from repro.obs.events import (
+    DeadlockObserved,
+    LockGranted,
+    LockReleased,
+    LockRequested,
+    LockTimedOut,
+)
 from repro.sim.engine import Environment
 from repro.sim.events import Event
 
@@ -142,9 +149,21 @@ class LockManager:
 
         is_upgrade = held is LockMode.S and mode is LockMode.X
         if self._grantable(txn_id, key, mode, is_upgrade):
+            bus = self.env.bus
+            if bus.enabled:
+                bus.publish(LockRequested(
+                    site_id=self.site_id, txn_id=txn_id, key=key,
+                    mode=mode.value, immediate=True,
+                ))
             self._grant(txn_id, key, mode, requested_at=self.env.now)
             event.succeed((key, mode))
             return event
+        bus = self.env.bus
+        if bus.enabled:
+            bus.publish(LockRequested(
+                site_id=self.site_id, txn_id=txn_id, key=key,
+                mode=mode.value, immediate=False,
+            ))
 
         request = LockRequest(
             txn_id=txn_id,
@@ -182,6 +201,12 @@ class LockManager:
         if not queue:
             self._queues.pop(request.key, None)
         self.waits_for.remove_waiter(request.txn_id)
+        bus = self.env.bus
+        if bus.enabled:
+            bus.publish(LockTimedOut(
+                site_id=self.site_id, txn_id=request.txn_id,
+                key=request.key, waited=self.env.now - request.requested_at,
+            ))
         request.event.fail(LockTimeout(
             f"{request.txn_id} waited {self.lock_timeout} for "
             f"{request.key} at {self.site_id}"
@@ -228,9 +253,23 @@ class LockManager:
                     released_at=self.env.now,
                 )
             )
+            bus = self.env.bus
+            if bus.enabled:
+                bus.publish(LockReleased(
+                    site_id=self.site_id, txn_id=txn_id, key=key,
+                    mode=existing.mode.value,
+                    held=self.env.now - existing.granted_at,
+                ))
             mode = stronger(existing.mode, mode)
         grants[txn_id] = _Grant(mode=mode, granted_at=self.env.now)
-        self.wait_log.append((txn_id, key, self.env.now - requested_at))
+        waited = self.env.now - requested_at
+        self.wait_log.append((txn_id, key, waited))
+        bus = self.env.bus
+        if bus.enabled:
+            bus.publish(LockGranted(
+                site_id=self.site_id, txn_id=txn_id, key=key,
+                mode=mode.value, waited=waited,
+            ))
 
     # -- release -----------------------------------------------------------------
 
@@ -252,6 +291,13 @@ class LockManager:
                 released_at=self.env.now,
             )
         )
+        bus = self.env.bus
+        if bus.enabled:
+            bus.publish(LockReleased(
+                site_id=self.site_id, txn_id=txn_id, key=key,
+                mode=grant.mode.value,
+                held=self.env.now - grant.granted_at,
+            ))
         self._wake_waiters(key)
 
     def release_all(self, txn_id: str) -> list[str]:
@@ -366,6 +412,11 @@ class LockManager:
         if victim is None:
             return
         cycle = self.detector.detected[-1]
+        bus = self.env.bus
+        if bus.enabled:
+            bus.publish(DeadlockObserved(
+                site_id=self.site_id, victim=victim, cycle=tuple(cycle),
+            ))
         # Fail every pending request of the victim; its owner must abort.
         exc = DeadlockDetected(victim, cycle)
         for qkey, queue in list(self._queues.items()):

@@ -14,6 +14,7 @@ from dataclasses import dataclass
 
 from repro.errors import UnknownSiteError
 from repro.net.message import Message, MsgType
+from repro.obs.events import MessageDelivered, MessageDropped, MessageSent
 from repro.sim.engine import Environment
 from repro.sim.events import Event
 from repro.sim.rng import Rng
@@ -110,7 +111,7 @@ class Network:
         if endpoint_id in self._inboxes:
             for msg in self._inboxes[endpoint_id].clear():
                 if isinstance(msg, Message):
-                    self.dropped[msg.msg_type] += 1
+                    self._drop(msg, "recipient_down")
 
     def mark_up(self, endpoint_id: str) -> None:
         """Mark a crashed endpoint recovered."""
@@ -160,9 +161,10 @@ class Network:
     def send(self, message: Message) -> None:
         """Send ``message``; delivery is scheduled after a latency draw.
 
-        Messages sent *by* a down endpoint, *to* a down endpoint (checked at
-        delivery time, so a message can also race a crash), or hit by the loss
-        probability are counted as dropped.
+        Messages sent *by* a down endpoint, *to* a down endpoint, over a
+        severed link (both checked again at delivery time, so a message can
+        also race a crash or a link cut), or hit by the loss probability
+        are counted as dropped.
         """
         if message.recipient not in self._inboxes:
             raise UnknownSiteError(
@@ -170,15 +172,21 @@ class Network:
             )
         message.send_time = self.env.now
         self.sent[message.msg_type] += 1
+        bus = self.env.bus
+        if bus.enabled:
+            bus.publish(MessageSent(
+                msg_type=message.msg_type.value, sender=message.sender,
+                recipient=message.recipient, txn_id=message.txn_id,
+            ))
 
         if self.is_down(message.sender):
-            self.dropped[message.msg_type] += 1
+            self._drop(message, "sender_down")
             return
         if self.is_severed(message.sender, message.recipient):
-            self.dropped[message.msg_type] += 1
+            self._drop(message, "severed")
             return
         if self.loss_probability and self.rng.chance(self.loss_probability):
-            self.dropped[message.msg_type] += 1
+            self._drop(message, "loss")
             return
 
         model = self._link_latency.get(
@@ -193,11 +201,34 @@ class Network:
     def _deliver(self, message: Message, delay: float):
         yield self.env.timeout(delay)
         if self.is_down(message.recipient):
-            self.dropped[message.msg_type] += 1
+            self._drop(message, "recipient_down")
+            return
+        if self.is_severed(message.sender, message.recipient):
+            # The link was cut while the message was in flight: it is lost
+            # exactly like one racing a recipient crash.
+            self._drop(message, "severed_in_flight")
             return
         message.deliver_time = self.env.now
         self._inboxes[message.recipient].put(message)
         self.delivered[message.msg_type] += 1
+        bus = self.env.bus
+        if bus.enabled:
+            bus.publish(MessageDelivered(
+                msg_type=message.msg_type.value, sender=message.sender,
+                recipient=message.recipient, txn_id=message.txn_id,
+                latency=self.env.now - message.send_time,
+            ))
+
+    def _drop(self, message: Message, reason: str) -> None:
+        """Count (and report) one dropped message."""
+        self.dropped[message.msg_type] += 1
+        bus = self.env.bus
+        if bus.enabled:
+            bus.publish(MessageDropped(
+                msg_type=message.msg_type.value, sender=message.sender,
+                recipient=message.recipient, txn_id=message.txn_id,
+                reason=reason,
+            ))
 
     def receive(self, endpoint_id: str) -> Event:
         """Event yielding the next message for ``endpoint_id``."""

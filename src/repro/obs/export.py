@@ -1,0 +1,51 @@
+"""Deterministic JSONL export of the event stream.
+
+One JSON object per line, in publish (``seq``) order.  Keys are sorted and
+separators fixed, and every field is a primitive (the taxonomy guarantees
+it), so a run with a fixed seed serializes to byte-identical output —
+``repro trace --seed 7`` twice diffs clean.
+
+Schema: every line carries ``kind``, ``ts``, ``seq``, plus the event
+class's own fields (tuples serialize as JSON arrays).  See
+``docs/OBSERVABILITY.md`` for the per-kind field tables.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from typing import IO, Iterable
+
+from repro.obs.events import Event
+
+
+def event_to_dict(event: Event) -> dict[str, object]:
+    """Flatten one event into a JSON-ready dict (``kind`` first)."""
+    record: dict[str, object] = {"kind": event.kind}
+    for field in dataclasses.fields(event):
+        value = getattr(event, field.name)
+        if isinstance(value, tuple):
+            value = list(value)
+        record[field.name] = value
+    return record
+
+
+def to_jsonl(events: Iterable[Event]) -> str:
+    """Serialize events to a JSONL string (one object per line)."""
+    lines = [
+        json.dumps(event_to_dict(event), sort_keys=True,
+                   separators=(",", ":"))
+        for event in events
+    ]
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def write_jsonl(events: Iterable[Event], handle: IO[str]) -> int:
+    """Write events as JSONL to an open text handle; returns line count."""
+    count = 0
+    for event in events:
+        handle.write(json.dumps(event_to_dict(event), sort_keys=True,
+                                separators=(",", ":")))
+        handle.write("\n")
+        count += 1
+    return count

@@ -1,0 +1,211 @@
+"""Span trees: fold the event stream into per-transaction timelines.
+
+A :class:`Span` is a named ``[start, end]`` interval with children.  For
+every global transaction the builder produces::
+
+    txn:T1                          (submit -> termination)
+      phase:spawn                   (spawn phase)
+        subtxn@S1                   (per-site execution)
+        subtxn@S2
+      phase:vote                    (VOTE_REQ -> decision)
+        vote@S1                     (point span: vote recorded)
+        vote@S2
+      phase:decision                (decision -> last ACK)
+        comp@S1                     (compensation, aborts only)
+
+``Span.duration`` and :meth:`Span.critical_path` give the temporal view
+the paper's claims are about: the lock-hold window is the subtxn span
+under O2PC versus subtxn-through-decision under 2PL; the compensation
+latency is the comp span.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from repro.obs import events as ev
+
+
+@dataclass
+class Span:
+    """One named interval in a transaction's timeline."""
+
+    name: str
+    #: "txn", "phase", "subtxn", "vote", "comp"
+    kind: str
+    txn_id: str
+    start: float
+    end: float
+    site_id: str | None = None
+    attrs: dict[str, object] = field(default_factory=dict)
+    children: list["Span"] = field(default_factory=list)
+
+    @property
+    def duration(self) -> float:
+        """Length of the interval."""
+        return self.end - self.start
+
+    def critical_path(self) -> list["Span"]:
+        """The chain of spans that determines this span's end time.
+
+        Walks from this span into the child ending last (ties broken by
+        start time, later first), recursively — the path a latency
+        optimization must shorten to shorten the whole transaction.
+        """
+        path = [self]
+        if self.children:
+            last = max(self.children, key=lambda s: (s.end, s.start))
+            path.extend(last.critical_path())
+        return path
+
+    def find(self, kind: str) -> list["Span"]:
+        """All descendant spans (including self) of ``kind``."""
+        found = [self] if self.kind == kind else []
+        for child in self.children:
+            found.extend(child.find(kind))
+        return found
+
+    def render(self, indent: int = 0) -> str:
+        """One-line-per-span textual tree."""
+        site = f"@{self.site_id}" if self.site_id else ""
+        extras = " ".join(f"{k}={v}" for k, v in sorted(self.attrs.items()))
+        line = (
+            f"{'  ' * indent}{self.name}{site} "
+            f"[{self.start:.1f} .. {self.end:.1f}] "
+            f"dur={self.duration:.1f}"
+        )
+        if extras:
+            line += f" {extras}"
+        lines = [line]
+        for child in self.children:
+            lines.append(child.render(indent + 1))
+        return "\n".join(lines)
+
+
+def render_span_tree(span: Span) -> str:
+    """Textual rendering of one span tree."""
+    return span.render()
+
+
+class _TxnSpans:
+    """Builder state for one global transaction."""
+
+    def __init__(self, root: Span) -> None:
+        self.root = root
+        self.phases: list[Span] = []
+        self.open_subtxns: dict[str, Span] = {}
+        self.open_comps: dict[str, Span] = {}
+
+    @property
+    def current_phase(self) -> Span | None:
+        return self.phases[-1] if self.phases else None
+
+    def enter_phase(self, name: str, ts: float) -> None:
+        if self.phases:
+            self.phases[-1].end = max(self.phases[-1].end, ts)
+        span = Span(
+            name=f"phase:{name}", kind="phase", txn_id=self.root.txn_id,
+            start=ts, end=ts,
+        )
+        self.phases.append(span)
+        self.root.children.append(span)
+
+    def attach(self, span: Span) -> None:
+        parent = self.current_phase or self.root
+        parent.children.append(span)
+
+    def close(self, ts: float) -> None:
+        for span in self.open_subtxns.values():
+            span.end = max(span.end, ts)
+            span.attrs.setdefault("outcome", "unfinished")
+        for span in self.open_comps.values():
+            span.end = max(span.end, ts)
+            span.attrs.setdefault("outcome", "unfinished")
+        if self.phases:
+            self.phases[-1].end = max(self.phases[-1].end, ts)
+        self.root.end = max(self.root.end, ts)
+
+
+def build_spans(events: Iterable[ev.Event]) -> dict[str, Span]:
+    """Fold an event stream into one span tree per global transaction.
+
+    Tolerant of partial streams: spans whose end events never arrived are
+    closed at their last observed timestamp and tagged
+    ``outcome=unfinished``.
+    """
+    builders: dict[str, _TxnSpans] = {}
+
+    def builder_for(txn_id: str, ts: float) -> _TxnSpans:
+        if txn_id not in builders:
+            root = Span(
+                name=f"txn:{txn_id}", kind="txn", txn_id=txn_id,
+                start=ts, end=ts,
+            )
+            builders[txn_id] = _TxnSpans(root)
+        return builders[txn_id]
+
+    for event in events:
+        if isinstance(event, ev.TxnSubmitted):
+            builder = builder_for(event.txn_id, event.ts)
+            builder.root.attrs["sites"] = list(event.sites)
+        elif isinstance(event, ev.PhaseEntered):
+            builder_for(event.txn_id, event.ts).enter_phase(
+                event.phase, event.ts
+            )
+        elif isinstance(event, ev.SubtxnStarted):
+            builder = builder_for(event.txn_id, event.ts)
+            span = Span(
+                name="subtxn", kind="subtxn", txn_id=event.txn_id,
+                site_id=event.site_id, start=event.ts, end=event.ts,
+            )
+            builder.open_subtxns[event.site_id] = span
+            builder.attach(span)
+        elif isinstance(event, (ev.SubtxnExecuted, ev.SubtxnFailed)):
+            builder = builder_for(event.txn_id, event.ts)
+            span = builder.open_subtxns.pop(event.site_id, None)
+            if span is not None:
+                span.end = event.ts
+                span.attrs["outcome"] = (
+                    "executed" if isinstance(event, ev.SubtxnExecuted)
+                    else f"failed:{event.reason}"
+                )
+        elif isinstance(event, ev.SubtxnRejected):
+            builder = builder_for(event.txn_id, event.ts)
+            builder.attach(Span(
+                name="reject", kind="subtxn", txn_id=event.txn_id,
+                site_id=event.site_id, start=event.ts, end=event.ts,
+                attrs={"outcome": "rejected", "reason": event.reason},
+            ))
+        elif isinstance(event, ev.VoteRecorded):
+            builder = builder_for(event.txn_id, event.ts)
+            builder.attach(Span(
+                name="vote", kind="vote", txn_id=event.txn_id,
+                site_id=event.site_id, start=event.ts, end=event.ts,
+                attrs={"vote": event.vote},
+            ))
+        elif isinstance(event, ev.DecisionReached):
+            builder = builder_for(event.txn_id, event.ts)
+            builder.root.attrs["decision"] = event.decision
+        elif isinstance(event, ev.CompensationStarted):
+            builder = builder_for(event.txn_id, event.ts)
+            span = Span(
+                name="comp", kind="comp", txn_id=event.txn_id,
+                site_id=event.site_id, start=event.ts, end=event.ts,
+                attrs={"ct_id": event.ct_id},
+            )
+            builder.open_comps[event.site_id] = span
+            builder.attach(span)
+        elif isinstance(event, ev.CompensationFinished):
+            builder = builder_for(event.txn_id, event.ts)
+            span = builder.open_comps.pop(event.site_id, None)
+            if span is not None:
+                span.end = event.ts
+                span.attrs["outcome"] = "compensated"
+                span.attrs["retries"] = event.retries
+        elif isinstance(event, ev.TxnTerminated):
+            builder = builder_for(event.txn_id, event.ts)
+            builder.root.attrs["committed"] = event.committed
+            builder.close(event.ts)
+
+    return {txn_id: b.root for txn_id, b in sorted(builders.items())}

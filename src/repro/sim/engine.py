@@ -13,6 +13,7 @@ from itertools import count
 from typing import Any, Generator
 
 from repro.errors import SimulationDeadlock
+from repro.obs.events import EventBus
 from repro.sim.events import AllOf, AnyOf, Event, NORMAL, Timeout
 from repro.sim.process import Process
 
@@ -25,6 +26,9 @@ class Environment:
         self._queue: list[tuple[float, int, int, Event]] = []
         self._eid = count()
         self._active_process: Process | None = None
+        #: observability event bus (disabled by default; instrumented
+        #: layers guard emission on ``bus.enabled``)
+        self.bus = EventBus(clock=self)
 
     # -- clock & introspection ---------------------------------------------
 

@@ -1,0 +1,54 @@
+"""The deprecated free-function entry points must warn and still work."""
+
+import pytest
+
+from repro.harness.metrics import collect_metrics
+from repro.harness.trace import lock_gantt, marking_audit, transaction_timeline
+from repro.obs import metrics as obs_metrics
+from tests.obs.test_events import observed_workload
+from tests.obs.test_spans import run_observed
+
+
+class TestMetricsShim:
+    def test_reexports_are_the_same_objects(self):
+        from repro.harness import metrics as shim
+
+        assert shim.MetricsReport is obs_metrics.MetricsReport
+        assert shim.mean is obs_metrics.mean
+        assert shim.percentile is obs_metrics.percentile
+
+    def test_collect_metrics_warns(self):
+        system = run_observed()
+        with pytest.warns(DeprecationWarning, match="System.metrics"):
+            collect_metrics(system)
+
+    def test_collect_metrics_matches_system_metrics(self):
+        # The acceptance check: on a workload, the redesigned surface
+        # agrees with the old entry point on the headline counters.
+        system, elapsed = observed_workload(seed=7, n=12)
+        new = system.metrics(elapsed)
+        with pytest.warns(DeprecationWarning):
+            old = collect_metrics(system, elapsed)
+        assert new.committed == old.committed
+        assert new.aborted == old.aborted
+        assert new.messages_total == old.messages_total
+
+
+class TestTraceShims:
+    def test_transaction_timeline(self):
+        system = run_observed()
+        with pytest.warns(DeprecationWarning, match="System.timeline"):
+            text = transaction_timeline(system)
+        assert text == system.timeline()
+
+    def test_lock_gantt(self):
+        system = run_observed()
+        with pytest.warns(DeprecationWarning, match="System.lock_gantt"):
+            text = lock_gantt(system, "S1")
+        assert text == system.lock_gantt("S1")
+
+    def test_marking_audit(self):
+        system = run_observed(force_no=True)
+        with pytest.warns(DeprecationWarning, match="System.marking_audit"):
+            text = marking_audit(system)
+        assert text == system.marking_audit()

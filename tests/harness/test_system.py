@@ -3,7 +3,10 @@
 import pytest
 
 from repro.commit import CommitScheme
+from repro.core.marks import MarkingDirectory
+from repro.core.protocols import P2Protocol
 from repro.harness import System, SystemConfig
+from repro.locking.modes import LockMode
 from repro.txn import GlobalTxnSpec, SemanticOp, SubtxnSpec, VotePolicy
 
 
@@ -27,12 +30,25 @@ class TestAssembly:
             assert system.marking.name == ("none" if name == "none" else name)
 
     def test_unknown_protocol_rejected(self):
-        with pytest.raises(KeyError):
-            System(SystemConfig(protocol="P9"))
+        with pytest.raises(ValueError, match="P1, P2, SIMPLE, none, saga"):
+            SystemConfig(protocol="P9")
 
     def test_marks_key_only_with_protocol(self):
         assert System(SystemConfig(protocol="P1")).sites["S1"].marks_key
         assert System(SystemConfig(protocol="none")).sites["S1"].marks_key is None
+
+    def test_nonpositive_metrics_window_rejected(self):
+        with pytest.raises(ValueError, match="metrics_window"):
+            SystemConfig(metrics_window=0.0)
+
+    def test_protocol_instance_adopted(self):
+        directory = MarkingDirectory()
+        protocol = P2Protocol(directory=directory)
+        system = System(SystemConfig(protocol=protocol))
+        assert system.marking is protocol
+        assert system.directory is directory
+        assert system.directory.bus is system.env.bus
+        assert system.sites["S1"].marks_key  # treated as a real protocol
 
     def test_config_knobs_threaded(self):
         system = System(SystemConfig(
@@ -82,6 +98,25 @@ class TestRunning:
         system.run_transaction(spec())
         system.check_correctness()
         system.check_correctness(strict=True)
+
+    def test_run_local_retries_after_lock_timeout(self):
+        system = System(SystemConfig(lock_timeout=2.0, observability=True))
+        site = system.sites["S1"]
+        site.locks.acquire("B1", "k0", LockMode.X)
+
+        def releaser():
+            yield system.env.timeout(5.0)
+            site.locks.release_all("B1")
+
+        system.env.process(releaser())
+        proc = system.run_local(
+            "S1", "L1", [SemanticOp("deposit", "k0", {"amount": 1})],
+        )
+        assert system.env.run(proc) is True
+        timeouts = [
+            e for e in system.events() if e.kind == "lock.timeout"
+        ]
+        assert timeouts and timeouts[0].txn_id == "L1"
 
     def test_global_history_and_sg_views(self):
         system = System()

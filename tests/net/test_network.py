@@ -99,6 +99,34 @@ def test_delivery_to_down_site_dropped_even_mid_flight():
     assert net.delivered[MsgType.VOTE_REQ] == 0
 
 
+def test_severed_link_drops_at_send():
+    env, net = make_net()
+    net.register("S1")
+    net.register("S2")
+    net.sever("S1", "S2")
+    net.send(msg())
+    env.run()
+    assert net.dropped[MsgType.VOTE_REQ] == 1
+    assert net.delivered[MsgType.VOTE_REQ] == 0
+
+
+def test_severed_in_flight_dropped():
+    env, net = make_net(latency=LatencyModel(base=5.0))
+    net.register("S1")
+    net.register("S2")
+    net.send(msg())
+
+    def severer(env):
+        yield env.timeout(1)
+        net.sever("S1", "S2")
+
+    env.process(severer(env))
+    env.run()
+    assert net.dropped[MsgType.VOTE_REQ] == 1
+    assert net.delivered[MsgType.VOTE_REQ] == 0
+    assert len(net.inbox("S2")) == 0
+
+
 def test_mark_down_clears_queued_inbox():
     env, net = make_net(latency=LatencyModel(base=0.0))
     net.register("S1")

@@ -1,0 +1,109 @@
+"""Unit tests for span-tree construction from the event stream."""
+
+from repro.commit import CommitScheme
+from repro.harness import System, SystemConfig
+from repro.obs.spans import build_spans, render_span_tree
+from repro.txn import GlobalTxnSpec, SemanticOp, SubtxnSpec, VotePolicy
+
+
+def run_observed(force_no=False):
+    system = System(SystemConfig(
+        scheme=CommitScheme.O2PC, protocol="P1", observability=True,
+    ))
+    spec = GlobalTxnSpec(txn_id="T1", subtxns=[
+        SubtxnSpec("S1", [SemanticOp("withdraw", "k0", {"amount": 1})]),
+        SubtxnSpec(
+            "S2", [SemanticOp("deposit", "k0", {"amount": 1})],
+            vote=VotePolicy.FORCE_NO if force_no else VotePolicy.AUTO,
+        ),
+    ])
+    system.run_transaction(spec)
+    system.env.run()
+    return system
+
+
+class TestCommittedTree:
+    def test_root_and_phases(self):
+        root = run_observed().spans()["T1"]
+        assert root.kind == "txn"
+        assert root.name == "txn:T1"
+        assert root.attrs["sites"] == ["S1", "S2"]
+        assert root.attrs["decision"] == "COMMIT"
+        assert root.attrs["committed"] is True
+        phases = [c for c in root.children if c.kind == "phase"]
+        assert [p.name for p in phases] == [
+            "phase:spawn", "phase:vote", "phase:decision",
+        ]
+        assert phases[0].start <= phases[1].start <= phases[2].start
+
+    def test_subtxn_spans_under_spawn_phase(self):
+        root = run_observed().spans()["T1"]
+        spawn = next(c for c in root.children if c.name == "phase:spawn")
+        subtxns = [c for c in spawn.children if c.kind == "subtxn"]
+        assert sorted(s.site_id for s in subtxns) == ["S1", "S2"]
+        assert all(s.attrs["outcome"] == "executed" for s in subtxns)
+        assert all(s.duration >= 0 for s in subtxns)
+
+    def test_vote_spans(self):
+        root = run_observed().spans()["T1"]
+        votes = root.find("vote")
+        assert sorted(v.site_id for v in votes) == ["S1", "S2"]
+        assert all(v.attrs["vote"] == "YES" for v in votes)
+        assert all(v.duration == 0.0 for v in votes)  # point spans
+
+    def test_durations_and_critical_path(self):
+        root = run_observed().spans()["T1"]
+        assert root.duration > 0
+        path = root.critical_path()
+        assert path[0] is root
+        assert len(path) >= 2
+        assert path[-1].children == []
+        assert all(a.end >= b.end for a, b in zip(path, path[1:]))
+
+    def test_render(self):
+        root = run_observed().spans()["T1"]
+        text = render_span_tree(root)
+        assert text == root.render()
+        assert "txn:T1" in text
+        assert "\n  phase:spawn" in text  # children indented
+        assert "dur=" in text
+
+
+class TestAbortedTree:
+    def test_decision_and_votes(self):
+        root = run_observed(force_no=True).spans()["T1"]
+        assert root.attrs["decision"] == "ABORT"
+        assert root.attrs["committed"] is False
+        votes = {v.site_id: v.attrs["vote"] for v in root.find("vote")}
+        assert votes["S2"] == "NO"
+
+    def test_compensation_span(self):
+        root = run_observed(force_no=True).spans()["T1"]
+        comps = root.find("comp")
+        assert [c.site_id for c in comps] == ["S1"]
+        assert comps[0].attrs["outcome"] == "compensated"
+        assert comps[0].attrs["retries"] == 0
+        assert "ct_id" in comps[0].attrs
+
+
+class TestPartialStreams:
+    def test_truncated_stream_tolerated(self):
+        events = [
+            e for e in run_observed().events() if e.kind != "txn.end"
+        ]
+        root = build_spans(events)["T1"]
+        assert "committed" not in root.attrs
+
+    def test_open_subtxns_tagged_unfinished(self):
+        events = [
+            e for e in run_observed().events()
+            if e.kind not in ("subtxn.exec", "subtxn.fail")
+        ]
+        root = build_spans(events)["T1"]
+        spawn = next(c for c in root.children if c.name == "phase:spawn")
+        subtxns = [c for c in spawn.children if c.kind == "subtxn"]
+        assert subtxns
+        assert all(s.attrs["outcome"] == "unfinished" for s in subtxns)
+
+    def test_empty_stream(self):
+        assert build_spans([]) == {}

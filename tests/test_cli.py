@@ -1,5 +1,7 @@
 """Unit tests for the command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
@@ -49,6 +51,59 @@ def test_sweep_prints_table(capsys):
     assert code == 0
     assert "abort_p" in out
     assert "thru_o2pc" in out
+
+
+def test_trace_is_deterministic(capsys):
+    code1, out1 = run_cli(capsys, "trace", "--seed", "7",
+                          "--transactions", "6")
+    code2, out2 = run_cli(capsys, "trace", "--seed", "7",
+                          "--transactions", "6")
+    assert code1 == code2 == 0
+    assert out1 == out2
+    lines = out1.splitlines()
+    assert lines
+    records = [json.loads(line) for line in lines]
+    assert records[0]["kind"] == "txn.submit"
+    assert [r["seq"] for r in records] == list(range(len(records)))
+
+
+def test_trace_seed_changes_stream(capsys):
+    _, out1 = run_cli(capsys, "trace", "--seed", "7", "--transactions", "6")
+    _, out2 = run_cli(capsys, "trace", "--seed", "8", "--transactions", "6")
+    assert out1 != out2
+
+
+def test_trace_writes_file(tmp_path, capsys):
+    path = tmp_path / "trace.jsonl"
+    code, out = run_cli(capsys, "trace", "--transactions", "4",
+                        "--out", str(path))
+    assert code == 0
+    assert f"events -> {path}" in out
+    lines = path.read_text().splitlines()
+    assert lines
+    assert str(len(lines)) in out
+
+
+def test_metrics_summary(capsys):
+    code, out = run_cli(capsys, "metrics", "--transactions", "8")
+    assert code == 0
+    assert "== metrics ==" in out
+    for name in ("committed", "aborted", "p99_latency", "messages_total"):
+        assert name in out
+
+
+def test_metrics_watch_prints_snapshots(capsys):
+    code, out = run_cli(capsys, "metrics", "--watch",
+                        "--transactions", "8", "--window", "20")
+    assert code == 0
+    assert "t=" in out
+    assert "p50=" in out
+    assert "== metrics ==" in out
+
+
+def test_metrics_rejects_nonpositive_window():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["metrics", "--window", "0"])
 
 
 def test_parser_requires_command():
