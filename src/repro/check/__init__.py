@@ -1,0 +1,58 @@
+"""Protocol model checker: schedule & crash-point exploration with oracles.
+
+The checker re-executes the deterministic simulation from scratch for every
+schedule (stateless search).  A :class:`~repro.check.scheduler.ControlledEnvironment`
+replaces the kernel's FIFO tie-breaking with an explicit *choice point*
+whenever several annotated message deliveries are ready at the same instant;
+a :class:`~repro.check.crashes.CrashInjector` turns protocol-significant
+events into crash choice points.  Every run is fully determined by its
+*choice vector*, so a counterexample is replayable byte-for-byte from the
+seed and the vector alone.
+
+Explored histories are judged by the oracle layer
+(:mod:`repro.check.oracles`), which replays them through the theory layer:
+serialization-graph regular-cycle freedom (Theorem 1), atomicity of
+compensation (Theorem 2's read-from discipline), marking-rule bookkeeping
+(R1-R3, UDUM1), and crash-restart reports (no in-doubt under O2PC).
+"""
+
+from repro.check.crashes import SIGNIFICANT_KINDS, CrashInjector
+from repro.check.explorer import (
+    CheckConfig,
+    CheckReport,
+    Counterexample,
+    ModelChecker,
+    RunOutcome,
+    replay,
+)
+from repro.check.oracles import Violation, run_oracles
+from repro.check.scheduler import (
+    Choice,
+    ChoicePolicy,
+    ControlledEnvironment,
+    RandomPolicy,
+)
+from repro.check.trace import render_counterexample, render_trace
+from repro.check.workloads import SCENARIOS, Scenario, get_scenario
+
+__all__ = [
+    "SIGNIFICANT_KINDS",
+    "CrashInjector",
+    "CheckConfig",
+    "CheckReport",
+    "Counterexample",
+    "ModelChecker",
+    "RunOutcome",
+    "replay",
+    "Violation",
+    "run_oracles",
+    "Choice",
+    "ChoicePolicy",
+    "ControlledEnvironment",
+    "RandomPolicy",
+    "SCENARIOS",
+    "Scenario",
+    "get_scenario",
+    "render_counterexample",
+    "render_trace",
+]

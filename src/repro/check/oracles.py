@@ -1,0 +1,222 @@
+"""Oracle layer: judge one explored history against the paper's guarantees.
+
+Each oracle replays the finished run through an existing theory/storage
+component and reports :class:`Violation`\\ s.  The mapping to the paper:
+
+* ``serializability`` — Theorem 1: the global serialization graph must have
+  no cycle through regular transactions (checked per site as well: a local
+  cycle would mean strict 2PL itself broke).  By default the *effective*
+  criterion is used (regular = committed global transactions); ``strict``
+  switches to the paper's literal criterion.
+* ``atomicity`` — Theorem 2's read-from discipline: no committed transaction
+  may have read a forward update of an aborted transaction at one site and
+  miss it at another; compensations must cover every forward write; an
+  aborted transaction must not leave a site exposed (LOCAL_COMMIT with no
+  terminal record).
+* ``marking`` — Section 6's bookkeeping: when the run terminates, the
+  marking directory must have no in-flight transactions and no unresolved
+  locally-committed marks.
+* ``recovery`` — Section 5: restarting every site from its (cloned) log must
+  reproduce the live store, and under O2PC must report *no in-doubt
+  transactions* — the non-blocking property that motivates the protocol.
+* ``liveness`` — every submitted transaction terminated before the event
+  queue drained (checked by the explorer, which owns the process handles).
+
+Oracles run on a *cloned* WAL and a fresh store where replay is involved,
+because :meth:`~repro.storage.recovery.RecoveryManager.restart` appends
+ABORT records for losers — the oracle must not mutate the history it judges.
+"""
+
+from __future__ import annotations
+
+import copy
+from dataclasses import dataclass
+
+from repro.commit.base import CommitScheme
+from repro.errors import ReproError
+from repro.harness.system import System
+from repro.sg.atomicity import (
+    check_atomicity_of_compensation,
+    compensation_writes_cover,
+)
+from repro.sg.cycles import find_local_cycle, find_regular_cycle
+from repro.sg.graph import TxnKind
+from repro.storage.kvstore import KVStore
+from repro.storage.recovery import RecoveryManager
+from repro.storage.wal import RecordType
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One oracle verdict: which guarantee broke, and how."""
+
+    oracle: str
+    detail: str
+
+    def __str__(self) -> str:
+        return f"[{self.oracle}] {self.detail}"
+
+
+def run_oracles(system: System, strict: bool = False) -> list[Violation]:
+    """Run every oracle over a finished run; returns all violations found."""
+    violations: list[Violation] = []
+    checks = (
+        ("serializability", lambda: _check_serializability(system, strict)),
+        ("atomicity", lambda: _check_atomicity(system)),
+        ("marking", lambda: _check_marking(system)),
+        ("recovery", lambda: _check_recovery(system)),
+    )
+    for name, check in checks:
+        try:
+            violations.extend(check())
+        except ReproError as exc:
+            # An oracle that cannot even evaluate (malformed history, bad
+            # log) is itself evidence of a broken run.
+            violations.append(
+                Violation(name, f"{type(exc).__name__}: {exc}")
+            )
+    return violations
+
+
+# -- serializability (Theorems 1 & 3) ------------------------------------------
+
+
+def _check_serializability(system: System, strict: bool) -> list[Violation]:
+    violations: list[Violation] = []
+    gsg = system.global_sg()
+    local = find_local_cycle(gsg)
+    if local is not None:
+        site_id, cycle = local
+        violations.append(Violation(
+            "serializability",
+            f"local SG cycle at {site_id}: {' -> '.join(cycle)} "
+            "(strict 2PL violated)",
+        ))
+    if strict:
+        regular = gsg.nodes_of_kind(TxnKind.GLOBAL)
+    else:
+        regular = system.effective_regular_nodes()
+    cycle = find_regular_cycle(gsg, regular)
+    if cycle is not None:
+        violations.append(Violation(
+            "serializability",
+            f"regular cycle in global SG: {' -> '.join(cycle)}",
+        ))
+    return violations
+
+
+# -- atomicity of compensation (Theorem 2) -------------------------------------
+
+
+def _check_atomicity(system: System) -> list[Violation]:
+    violations: list[Violation] = []
+    history = system.global_history()
+    report = check_atomicity_of_compensation(history)
+    for reader, forward_txn in report.violations:
+        violations.append(Violation(
+            "atomicity",
+            f"{reader} observed {forward_txn} inconsistently across sites "
+            "(read-from discipline of Theorem 2 violated)",
+        ))
+    for outcome in system.outcomes:
+        if outcome.committed:
+            continue
+        if outcome.compensated_sites and not compensation_writes_cover(
+            history, outcome.txn_id
+        ):
+            violations.append(Violation(
+                "atomicity",
+                f"compensation of {outcome.txn_id} does not cover its "
+                "forward writes",
+            ))
+    violations.extend(_check_exposure(system))
+    return violations
+
+
+def _check_exposure(system: System) -> list[Violation]:
+    """No transaction may end the run with unrevoked exposed updates."""
+    violations: list[Violation] = []
+    for outcome in system.outcomes:
+        coordinator = system.coordinators.get(outcome.txn_id)
+        if coordinator is None:
+            continue
+        for site_id in coordinator.spec.site_ids:
+            status = system.sites[site_id].wal.status_of(outcome.txn_id)
+            if outcome.committed:
+                if status not in (None, RecordType.COMMIT):
+                    violations.append(Violation(
+                        "atomicity",
+                        f"{outcome.txn_id} committed globally but its log "
+                        f"status at {site_id} is {status.value}",
+                    ))
+            elif status is RecordType.LOCAL_COMMIT:
+                violations.append(Violation(
+                    "atomicity",
+                    f"{outcome.txn_id} aborted globally but is still "
+                    f"locally committed at {site_id} (exposed updates "
+                    "never revoked)",
+                ))
+    return violations
+
+
+# -- marking bookkeeping (Section 6) ---------------------------------------------
+
+
+def _check_marking(system: System) -> list[Violation]:
+    violations: list[Violation] = []
+    directory = system.directory
+    if directory.active:
+        violations.append(Violation(
+            "marking",
+            "transactions still registered as in flight after the run "
+            f"terminated: {sorted(directory.active)}",
+        ))
+    for site_id in sorted(directory.machines):
+        lc_marks = directory.machines[site_id].locally_committed_set()
+        if lc_marks:
+            violations.append(Violation(
+                "marking",
+                f"{site_id} ended the run locally committed with respect "
+                f"to {sorted(lc_marks)} (decision never resolved)",
+            ))
+    return violations
+
+
+# -- crash-restart reports (Section 5) --------------------------------------------
+
+
+def _check_recovery(system: System) -> list[Violation]:
+    violations: list[Violation] = []
+    o2pc = system.config.scheme is CommitScheme.O2PC
+    for site_id in sorted(system.sites):
+        site = system.sites[site_id]
+        # Clone the log: restart() appends ABORT records for losers, and
+        # the oracle must not mutate the history it is judging.
+        replayed = KVStore(site_id=f"{site_id}.replay")
+        report = RecoveryManager(replayed, copy.deepcopy(site.wal)).restart()
+        if o2pc and report.in_doubt:
+            violations.append(Violation(
+                "recovery",
+                f"restart at {site_id} reports in-doubt transactions "
+                f"{sorted(report.in_doubt)} under O2PC (a YES vote must "
+                "locally commit, never block)",
+            ))
+        for key, value in replayed.items():
+            if site.marks_key is not None and key == site.marks_key:
+                continue
+            live = site.store.get_or(key, _MISSING)
+            if live is not _MISSING and live != value:
+                violations.append(Violation(
+                    "recovery",
+                    f"replaying {site_id}'s log yields {key}={value!r} "
+                    f"but the live store holds {live!r}",
+                ))
+    return violations
+
+
+class _Missing:
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return "<missing>"
+
+
+_MISSING = _Missing()

@@ -1,0 +1,210 @@
+"""The controlled scheduler: interleaving enumeration over the sim kernel.
+
+The plain :class:`~repro.sim.engine.Environment` breaks ties among
+simultaneous events by ``(priority, sequence)`` — a fixed, arbitrary order.
+:class:`ControlledEnvironment` overrides :meth:`step` so that whenever the
+set of events ready at the minimal timestamp contains *several annotated
+message deliveries* (see ``Event.annotation``, set by the network), the
+delivery to process first becomes an explicit **choice point** resolved by a
+:class:`ChoicePolicy`.  Internal events (process resumptions, timeouts) are
+never reordered: they are deterministic consequences of earlier choices, so
+branching on them would only enumerate the same history many times.
+
+Determinism contract: a run is a pure function of ``(seed, choice vector)``.
+The policy records every choice it makes in :attr:`ChoicePolicy.log`; the
+explorer replays a prefix of a previous log and branches on the first free
+choice (stateless depth-first search).  Nothing in a choice label may depend
+on process-global mutable state (e.g. ``Message.seq``) — labels are built
+from message type, endpoints, and transaction ids only.
+
+Partial-order pruning: two deliveries to *different* recipients at the same
+instant commute in the message-passing sense — each recipient consumes its
+own inbox — so exploring both orders would mostly duplicate histories.  With
+``prune=True`` (default) the branch set keeps index 0 plus every delivery
+whose recipient appears at least twice in the ready set.  This is a
+heuristic, not a soundness-preserving sleep set: deliveries to different
+sites can still race through the *shared* marking directory, so a full
+search passes ``prune=False`` (the checker CLI's ``--no-prune``).
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import Counter
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.errors import ScheduleDivergence, StepBudgetExceeded
+from repro.sim.engine import Environment
+from repro.sim.rng import Rng
+
+
+@dataclass(frozen=True)
+class Choice:
+    """One recorded decision of a controlled run."""
+
+    #: position in the run's choice log (0-based)
+    index: int
+    #: "deliver" (message ordering) or "crash" (failure injection)
+    kind: str
+    #: human-readable candidate labels, one per alternative
+    labels: tuple[str, ...]
+    #: index of the candidate that was taken
+    chosen: int
+    #: candidate indices worth exploring (after pruning), including chosen
+    branch: tuple[int, ...]
+
+
+class ChoicePolicy:
+    """Replays a choice-vector prefix, then picks defaults (DFS baseline).
+
+    Subclasses override :meth:`_pick_free` to change what happens *past* the
+    prefix; the prefix-replay and logging machinery is shared, which is what
+    makes counterexamples replayable by construction.
+    """
+
+    def __init__(self, prefix: Sequence[int] = ()) -> None:
+        self.prefix = tuple(prefix)
+        #: every choice point encountered, in order
+        self.log: list[Choice] = []
+
+    def choose(
+        self, kind: str, labels: Sequence[str], branch: Sequence[int]
+    ) -> int:
+        """Resolve one choice point; returns the chosen candidate index."""
+        index = len(self.log)
+        if index < len(self.prefix):
+            chosen = self.prefix[index]
+            if chosen >= len(labels):
+                raise ScheduleDivergence(
+                    f"choice {index}: prefix wants candidate {chosen} but "
+                    f"only {len(labels)} are ready ({list(labels)!r}) — "
+                    "the replayed run diverged from the recorded one"
+                )
+        else:
+            chosen = self._pick_free(kind, labels, branch)
+        self.log.append(Choice(
+            index=index,
+            kind=kind,
+            labels=tuple(labels),
+            chosen=chosen,
+            branch=tuple(branch),
+        ))
+        return chosen
+
+    def _pick_free(
+        self, kind: str, labels: Sequence[str], branch: Sequence[int]
+    ) -> int:
+        return 0
+
+    @property
+    def vector(self) -> tuple[int, ...]:
+        """The full choice vector of the run so far."""
+        return tuple(choice.chosen for choice in self.log)
+
+
+class RandomPolicy(ChoicePolicy):
+    """Bounded mode: free choices are drawn from a seeded RNG.
+
+    Crash choice points are biased — index 0 ("continue") is taken with
+    probability ``1 - crash_probability`` — because a uniform draw over
+    (continue + one alternative per site) would crash nearly every run.
+    """
+
+    def __init__(
+        self,
+        rng: Rng,
+        crash_probability: float = 0.25,
+        prefix: Sequence[int] = (),
+    ) -> None:
+        super().__init__(prefix)
+        self.rng = rng
+        self.crash_probability = crash_probability
+
+    def _pick_free(
+        self, kind: str, labels: Sequence[str], branch: Sequence[int]
+    ) -> int:
+        if kind == "crash":
+            alternatives = [i for i in branch if i != 0]
+            if alternatives and self.rng.chance(self.crash_probability):
+                return self.rng.choice(alternatives)
+            return 0
+        return self.rng.choice(list(branch))
+
+
+class ControlledEnvironment(Environment):
+    """Environment whose tie-breaking among ready deliveries is a policy.
+
+    ``max_steps`` bounds one run (a schedule that livelocks the protocol
+    raises :class:`~repro.errors.StepBudgetExceeded` instead of hanging the
+    search); ``prune`` enables the commuting-deliveries heuristic described
+    in the module docstring.
+    """
+
+    def __init__(
+        self,
+        policy: ChoicePolicy,
+        max_steps: int | None = None,
+        prune: bool = True,
+    ) -> None:
+        super().__init__()
+        self.policy = policy
+        self.max_steps = max_steps
+        self.prune = prune
+        #: events processed so far (the per-run budget's denominator)
+        self.steps = 0
+
+    def step(self) -> None:
+        if not self._queue:
+            self._raise_deadlock("no scheduled events")
+        if self.max_steps is not None and self.steps >= self.max_steps:
+            raise StepBudgetExceeded(
+                f"run exceeded {self.max_steps} steps at t={self._now}"
+            )
+        self.steps += 1
+        entry = self._select()
+        self._now = entry[0]
+        self._dispatch(entry[3])
+
+    # -- ready-set selection ---------------------------------------------------
+
+    def _select(self):
+        """Pop the next entry, branching when several deliveries are ready."""
+        time = self._queue[0][0]
+        ready = []
+        while self._queue and self._queue[0][0] == time:
+            ready.append(heapq.heappop(self._queue))
+        if len(ready) == 1:
+            return ready[0]
+        # Internal events first: they are scheduled consequences of earlier
+        # choices, and URGENT process resumptions must run before any
+        # delivery at the same instant (kernel invariant).
+        internal = [e for e in ready if e[3].annotation is None]
+        if internal:
+            chosen = internal[0]  # heap pop order: (priority, sequence)
+        else:
+            chosen = self._choose_delivery(ready)
+        for entry in ready:
+            if entry is not chosen:
+                heapq.heappush(self._queue, entry)
+        return chosen
+
+    def _choose_delivery(self, ready: list) -> object:
+        """Ask the policy which of several ready deliveries goes first."""
+        labels = [entry[3].annotation[2] for entry in ready]
+        recipients = [entry[3].annotation[1] for entry in ready]
+        if self.prune:
+            counts = Counter(recipients)
+            branch = [
+                i for i in range(len(ready))
+                if i == 0 or counts[recipients[i]] > 1
+            ]
+        else:
+            branch = list(range(len(ready)))
+        if len(branch) == 1:
+            # Pruned to a single candidate: not a real choice point, so it
+            # is not recorded (recorded trivial points would bloat every
+            # vector and the DFS frontier with no-ops).
+            return ready[0]
+        chosen = self.policy.choose("deliver", labels, branch)
+        return ready[chosen]

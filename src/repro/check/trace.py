@@ -1,0 +1,71 @@
+"""Render counterexamples as minimal, replayable event traces.
+
+A counterexample is presented in three parts: the oracle verdicts, the
+choice vector (with the label of each non-default decision — what the
+schedule *did differently*), and the protocol-significant slice of the
+run's event trace.  The full JSONL trace stays attached to the
+counterexample object for byte-level comparison; the rendering here is the
+human-facing summary.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.check.crashes import SIGNIFICANT_KINDS
+from repro.check.explorer import Counterexample
+
+#: event kinds worth showing in a rendered trace (protocol transitions plus
+#: submission/termination book-ends and failure events)
+_TRACE_KINDS = SIGNIFICANT_KINDS + (
+    "txn.submit",
+    "txn.end",
+    "subtxn.reject",
+    "comp.end",
+    "site.crash",
+    "site.recover",
+)
+
+
+def render_trace(jsonl: str, kinds: tuple[str, ...] = _TRACE_KINDS) -> str:
+    """The protocol-significant slice of a JSONL event trace."""
+    lines = []
+    for raw in jsonl.splitlines():
+        if not raw:
+            continue
+        event = json.loads(raw)
+        if event.get("kind") not in kinds:
+            continue
+        ts = event.pop("ts", 0.0)
+        kind = event.pop("kind")
+        event.pop("seq", None)
+        detail = " ".join(
+            f"{key}={event[key]}" for key in sorted(event)
+        )
+        lines.append(f"  t={ts:<8g} {kind:<20} {detail}")
+    return "\n".join(lines)
+
+
+def render_counterexample(counterexample: Counterexample) -> str:
+    """Human-facing summary of one failing schedule."""
+    parts = ["violations:"]
+    for violation in counterexample.violations:
+        parts.append(f"  {violation}")
+    parts.append(f"replay vector: {list(counterexample.choices)}")
+    decisions = [
+        choice for choice in counterexample.log
+        if choice.chosen != 0 or choice.index < len(counterexample.choices)
+    ]
+    if decisions:
+        parts.append("decisions:")
+        for choice in decisions:
+            parts.append(
+                f"  [{choice.index}] {choice.kind}: "
+                f"{choice.labels[choice.chosen]} "
+                f"(of {len(choice.labels)} candidates)"
+            )
+    trace = render_trace(counterexample.jsonl)
+    if trace:
+        parts.append("trace:")
+        parts.append(trace)
+    return "\n".join(parts)

@@ -13,7 +13,11 @@ Commands:
 * ``trace`` — run a workload with observability on and emit the typed
   event stream as deterministic JSONL (same seed → byte-identical output);
 * ``metrics`` — run a workload with streaming metrics; ``--watch`` prints
-  a snapshot per simulation window instead of only the final report.
+  a snapshot per simulation window instead of only the final report;
+* ``check`` — the protocol model checker: enumerate message interleavings
+  and crash points of an adversarial scenario and judge every explored
+  schedule with the paper-invariant oracles (``--smoke`` is the CI
+  preset).
 
 Everything is deterministic for a given ``--seed``.
 """
@@ -335,6 +339,89 @@ def cmd_metrics(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_check(args: argparse.Namespace) -> int:
+    """Model-check a scenario: explore schedules/crashes, run the oracles.
+
+    Exit code 0 when every explored schedule satisfies the oracles (and,
+    under ``--smoke``, when the exploration met its schedule quota); 1 when
+    a counterexample was found.  Counterexamples print their replay vector:
+    ``repro check --replay`` re-executes one byte-for-byte.
+    """
+    from repro.check import (
+        CheckConfig,
+        ModelChecker,
+        render_counterexample,
+        replay,
+    )
+
+    config = CheckConfig(
+        scenario=args.scenario,
+        protocol=args.protocol,
+        seed=args.seed,
+        depth=args.depth,
+        crashes=args.crashes,
+        max_schedules=args.max_schedules,
+        bounded=args.bounded,
+        prune=not args.no_prune,
+        time_budget=args.budget,
+        strict=args.strict,
+    )
+    smoke_quota = 0
+    if args.smoke:
+        # CI preset: the conflict scenario under P1 with crash injection
+        # must clear >= 1000 distinct schedules, all violation-free.
+        config.scenario = "conflict"
+        config.protocol = "P1"
+        config.depth = 14
+        config.crashes = 2
+        config.max_schedules = 1500
+        config.time_budget = args.budget if args.budget else 55.0
+        smoke_quota = 1000
+
+    if args.replay is not None:
+        choices = tuple(
+            int(piece) for piece in args.replay.split(",") if piece != ""
+        )
+        outcome = replay(config, choices)
+        sys.stdout.write(outcome.system.obs.jsonl())
+        for violation in outcome.violations:
+            print(violation, file=sys.stderr)
+        return 1 if outcome.violations else 0
+
+    report = ModelChecker(config).run()
+    mode = f"bounded({config.bounded})" if config.bounded else "dfs"
+    print(
+        f"scenario={config.scenario} protocol={config.protocol} "
+        f"mode={mode} depth={config.depth} crashes={config.crashes} "
+        f"prune={config.prune}"
+    )
+    print(
+        f"explored {report.explored} distinct schedules in "
+        f"{report.elapsed:.1f}s "
+        f"({'exhausted' if report.exhausted else 'budget-capped'}; "
+        f"{report.first_run_choice_points} choice points on the default "
+        f"schedule)"
+    )
+    if report.counterexamples:
+        shown = report.counterexamples[: args.show]
+        print(
+            f"FOUND {len(report.counterexamples)} counterexample(s); "
+            f"showing {len(shown)}:"
+        )
+        for counterexample in shown:
+            print()
+            print(render_counterexample(counterexample))
+        return 1
+    print("no oracle violations")
+    if smoke_quota and report.explored < smoke_quota:
+        print(
+            f"SMOKE FAILURE: explored {report.explored} < {smoke_quota} "
+            "required schedules"
+        )
+        return 1
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The repro CLI argument parser."""
     parser = argparse.ArgumentParser(
@@ -401,6 +488,37 @@ def build_parser() -> argparse.ArgumentParser:
                          help="print one snapshot per simulation window")
     metrics.add_argument("--window", type=_positive_float, default=10.0)
     metrics.set_defaults(fn=cmd_metrics)
+
+    check = sub.add_parser(
+        "check", parents=[seed_parent],
+        help="model-check protocol schedules and crash points",
+    )
+    check.add_argument("--scenario", default="conflict",
+                       choices=["conflict", "duel"])
+    check.add_argument("--protocol", default="P1",
+                       choices=["none", "saga", "P1", "P2", "SIMPLE"])
+    check.add_argument("--depth", type=int, default=12,
+                       help="choice points eligible for DFS branching")
+    check.add_argument("--crashes", type=int, default=0,
+                       help="crash budget per run (0 = no crash injection)")
+    check.add_argument("--max-schedules", type=int, default=2000)
+    check.add_argument("--bounded", type=int, default=0,
+                       help="N seeded random walks instead of the DFS")
+    check.add_argument("--no-prune", action="store_true",
+                       help="disable partial-order pruning (full search)")
+    check.add_argument("--budget", type=_positive_float, default=None,
+                       help="wall-clock budget in seconds")
+    check.add_argument("--strict", action="store_true",
+                       help="literal criterion instead of effective")
+    check.add_argument("--smoke", action="store_true",
+                       help="CI preset: conflict/P1, crashes, 1k-schedule "
+                            "quota")
+    check.add_argument("--show", type=int, default=3,
+                       help="max counterexamples to render")
+    check.add_argument("--replay", default=None, metavar="V0,V1,...",
+                       help="replay one choice vector; prints its JSONL "
+                            "trace")
+    check.set_defaults(fn=cmd_check)
     return parser
 
 

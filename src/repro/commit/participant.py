@@ -106,6 +106,9 @@ class Participant:
             lock_marks=lock_marks,
         )
         self.subtxns: dict[str, _SubtxnState] = {}
+        #: live handler processes — killed on crash, since a handler
+        #: suspended mid-protocol must not keep running against wiped state
+        self._handlers: set[Any] = set()
         network.register(site.site_id)
         self._dispatcher = self.env.process(
             self._dispatch(), name=f"participant:{site.site_id}"
@@ -123,9 +126,13 @@ class Participant:
             }.get(msg.msg_type)
             if handler is None:
                 continue
-            self.env.process(
+            proc = self.env.process(
                 handler(msg),
                 name=f"{self.site.site_id}:{msg.msg_type.value}:{msg.txn_id}",
+            )
+            self._handlers.add(proc)
+            proc.callbacks.append(
+                lambda _evt, p=proc: self._handlers.discard(p)
             )
 
     # -- SUBTXN_REQ ----------------------------------------------------------------
@@ -364,6 +371,15 @@ class Participant:
         bus = self.env.bus
         if bus.enabled:
             bus.publish(SiteCrashed(site_id=self.site.site_id))
+        # Kill handlers suspended mid-protocol: their lock waits and undo
+        # programs died with the volatile state.  ``defused`` keeps the
+        # resulting ProcessInterrupted from surfacing as an unhandled
+        # failure in the kernel.
+        for proc in list(self._handlers):
+            if proc.is_alive and proc is not self.env.active_process:
+                proc.defused = True
+                proc.interrupt(cause=f"site {self.site.site_id} crashed")
+        self._handlers.clear()
         self.site.crash()
         self.subtxns.clear()
 

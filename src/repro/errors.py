@@ -203,6 +203,34 @@ class ProtocolViolation(CommitProtocolError):
 
 
 # ---------------------------------------------------------------------------
+# Model checker
+# ---------------------------------------------------------------------------
+
+
+class CheckError(ReproError):
+    """Base class for model-checker errors."""
+
+
+class StepBudgetExceeded(CheckError):
+    """A controlled run exceeded its per-run step budget.
+
+    Either the budget is too small for the scenario or the schedule drove
+    the protocol into a livelock — both are worth surfacing, neither should
+    hang the exploration.
+    """
+
+
+class ScheduleDivergence(CheckError):
+    """A replayed choice vector no longer matches the run's choice points.
+
+    Replay determinism is the checker's foundation: the same seed and
+    prefix must reproduce the same candidate sets.  Divergence means
+    nondeterminism leaked into the simulation (wall clock, unseeded RNG,
+    iteration over an unordered container).
+    """
+
+
+# ---------------------------------------------------------------------------
 # Serialization-graph / correctness layer
 # ---------------------------------------------------------------------------
 

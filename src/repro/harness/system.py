@@ -122,9 +122,15 @@ class SystemConfig:
 class System:
     """A complete simulated multidatabase system."""
 
-    def __init__(self, config: SystemConfig | None = None) -> None:
+    def __init__(
+        self,
+        config: SystemConfig | None = None,
+        env: Environment | None = None,
+    ) -> None:
         self.config = config or SystemConfig()
-        self.env = Environment()
+        #: ``env`` lets a caller supply a pre-built environment — the model
+        #: checker injects its controlled scheduler this way
+        self.env = env or Environment()
         self.rng = Rng(self.config.seed)
         self.network = Network(
             self.env,
@@ -182,6 +188,21 @@ class System:
         # committed transactions) in a background process.
         self.failures.on_crash(self._on_site_crash)
         self.failures.on_recover(self._on_site_recover)
+        self.env.add_deadlock_diagnostic(self._waits_for_snapshot)
+
+    def _waits_for_snapshot(self) -> str:
+        """Render every site's lock wait-for graph (deadlock diagnostics)."""
+        lines = []
+        for sid in sorted(self.sites):
+            edges = self.sites[sid].locks.waits_for.edges()
+            if edges:
+                lines.append(
+                    f"  {sid}: "
+                    + ", ".join(f"{a} -> {b}" for a, b in edges)
+                )
+        if not lines:
+            return ""
+        return "lock wait-for graph at deadlock:\n" + "\n".join(lines)
 
     def _on_site_crash(self, endpoint_id: str) -> None:
         participant = self.participants.get(endpoint_id)

@@ -193,13 +193,21 @@ class Network:
             (message.sender, message.recipient), self.latency
         )
         delay = model.draw(self.rng)
-        self.env.process(
-            self._deliver(message, delay),
-            name=f"deliver:{message.msg_type.value}:{message.seq}",
+        # Delivery is a bare annotated timeout (not a process): the
+        # annotation identifies it as a reorderable occurrence, which is
+        # what the model checker's controlled scheduler branches on.
+        arrival = self.env.timeout(delay)
+        arrival.annotation = (
+            "net.deliver",
+            message.recipient,
+            f"{message.msg_type.value}:{message.sender}"
+            f"->{message.recipient}:{message.txn_id}",
+        )
+        arrival.callbacks.append(
+            lambda _evt, m=message: self._finish_delivery(m)
         )
 
-    def _deliver(self, message: Message, delay: float):
-        yield self.env.timeout(delay)
+    def _finish_delivery(self, message: Message) -> None:
         if self.is_down(message.recipient):
             self._drop(message, "recipient_down")
             return

@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import heapq
 from itertools import count
-from typing import Any, Generator
+from typing import Any, Callable, Generator
 
 from repro.errors import SimulationDeadlock
 from repro.obs.events import EventBus
@@ -29,6 +29,11 @@ class Environment:
         #: observability event bus (disabled by default; instrumented
         #: layers guard emission on ``bus.enabled``)
         self.bus = EventBus(clock=self)
+        #: diagnostic providers consulted when a deadlock is raised; each
+        #: returns a text block (or "") appended to the exception message —
+        #: the System registers one that snapshots the lock managers'
+        #: wait-for graphs so a drained queue is self-explanatory
+        self._deadlock_diagnostics: list[Callable[[], str]] = []
 
     # -- clock & introspection ---------------------------------------------
 
@@ -82,6 +87,21 @@ class Environment:
 
     # -- execution -------------------------------------------------------------
 
+    def add_deadlock_diagnostic(self, provider: Callable[[], str]) -> None:
+        """Register a provider whose text is appended to deadlock messages."""
+        self._deadlock_diagnostics.append(provider)
+
+    def _raise_deadlock(self, message: str) -> None:
+        parts = [message]
+        for provider in self._deadlock_diagnostics:
+            try:
+                text = provider()
+            except Exception:  # diagnostics must never mask the deadlock
+                continue
+            if text:
+                parts.append(text)
+        raise SimulationDeadlock("\n".join(parts))
+
     def step(self) -> None:
         """Process the single next event.
 
@@ -90,9 +110,12 @@ class Environment:
         (so programming errors inside processes surface instead of vanishing).
         """
         if not self._queue:
-            raise SimulationDeadlock("no scheduled events")
+            self._raise_deadlock("no scheduled events")
         self._now, _, _, event = heapq.heappop(self._queue)
+        self._dispatch(event)
 
+    def _dispatch(self, event: Event) -> None:
+        """Run one popped event's callbacks (shared by step variants)."""
         callbacks, event.callbacks = event.callbacks, None
         if callbacks is None:  # pragma: no cover - double-processing guard
             raise RuntimeError(f"{event!r} processed twice")
@@ -122,7 +145,7 @@ class Environment:
             stop = until
             while not stop.processed:
                 if not self._queue:
-                    raise SimulationDeadlock(
+                    self._raise_deadlock(
                         f"event queue drained before {stop!r} triggered"
                     )
                 self.step()

@@ -48,6 +48,11 @@ class Event:
         #: set True once a process has observed (or will observe) a failure,
         #: used to surface unhandled failures loudly instead of silently.
         self.defused: bool = False
+        #: optional ``(kind, subject, label)`` tag identifying this event as
+        #: an externally reorderable occurrence (e.g. a message delivery).
+        #: The plain kernel ignores it; the model checker's controlled
+        #: scheduler treats same-time annotated events as a choice point.
+        self.annotation: tuple[str, str, str] | None = None
 
     # -- state ------------------------------------------------------------
 

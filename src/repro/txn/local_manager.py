@@ -373,8 +373,19 @@ class LocalTransactionManager:
 
     def abandon_all(self) -> None:
         """Drop in-flight transactions after a crash (their undo happens in
-        restart recovery, not here)."""
+        restart recovery, not here).
+
+        ACTIVE transactions' recorded operations are expunged from the
+        history: strict 2PL guarantees nothing read their updates (locks
+        were held until the crash destroyed them), so the crash leaves the
+        committed projection as if they never executed — which is exactly
+        what restart recovery makes true in the store.  PREPARED
+        transactions keep their operations: they are in-doubt and may yet
+        commit.
+        """
         for txn_id, status in list(self.status.items()):
+            if status is TxnStatus.ACTIVE:
+                self.site.history.expunge(txn_id)
             if status in (TxnStatus.ACTIVE, TxnStatus.PREPARED):
                 self.status[txn_id] = TxnStatus.ABORTED
 

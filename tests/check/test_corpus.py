@@ -1,0 +1,50 @@
+"""Seeded regression corpus: known counterexamples must stay reproducible.
+
+Each entry pins a (scenario, protocol, seed, choice vector) whose replay is
+known to violate specific oracles.  If an entry stops reproducing, either
+the protocol implementation changed behavior (investigate!) or the choice-
+point structure shifted (re-harvest the corpus deliberately — the vectors
+are positional).
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.check.explorer import CheckConfig, replay
+
+CORPUS = json.loads(
+    (Path(__file__).parent / "corpus.json").read_text(encoding="utf-8")
+)
+
+
+@pytest.mark.parametrize(
+    "entry", CORPUS, ids=[entry["name"] for entry in CORPUS]
+)
+def test_corpus_entry_reproduces(entry):
+    outcome = replay(
+        CheckConfig(
+            scenario=entry["scenario"],
+            protocol=entry["protocol"],
+            seed=entry["seed"],
+        ),
+        entry["choices"],
+    )
+    assert {v.oracle for v in outcome.violations} == set(entry["oracles"]), [
+        str(v) for v in outcome.violations
+    ]
+
+
+@pytest.mark.parametrize(
+    "entry", CORPUS[:2], ids=[entry["name"] for entry in CORPUS[:2]]
+)
+def test_corpus_replay_is_byte_stable(entry):
+    config = CheckConfig(
+        scenario=entry["scenario"],
+        protocol=entry["protocol"],
+        seed=entry["seed"],
+    )
+    first = replay(config, entry["choices"])
+    second = replay(config, entry["choices"])
+    assert first.system.obs.jsonl() == second.system.obs.jsonl()

@@ -1,0 +1,94 @@
+"""Crash enumerator: significant points, budgets, protocol resilience."""
+
+import json
+
+from repro.check.crashes import SIGNIFICANT_KINDS
+from repro.check.explorer import CheckConfig, ModelChecker
+from repro.check.scheduler import ChoicePolicy
+
+
+def _crash_vector(config, label_fragment):
+    """The choice vector that takes the first crash candidate whose label
+    contains ``label_fragment`` (e.g. ``"S1@comp.start"``)."""
+    base = ModelChecker(config).execute(ChoicePolicy())
+    for index, choice in enumerate(base.log):
+        if choice.kind != "crash":
+            continue
+        for candidate, label in enumerate(choice.labels):
+            if candidate != 0 and label_fragment in label:
+                return tuple(c.chosen for c in base.log[:index]) + (candidate,)
+    raise AssertionError(
+        f"no crash candidate matching {label_fragment!r} in "
+        f"{[c.labels for c in base.log if c.kind == 'crash']}"
+    )
+
+
+def _events(outcome, kind):
+    return [
+        json.loads(line)
+        for line in outcome.system.obs.jsonl().splitlines()
+        if json.loads(line).get("kind") == kind
+    ]
+
+
+class TestCrashChoicePoints:
+    def test_budget_zero_opens_no_crash_points(self):
+        outcome = ModelChecker(CheckConfig(
+            scenario="conflict", protocol="P1", crashes=0,
+        )).execute(ChoicePolicy())
+        assert all(c.kind != "crash" for c in outcome.log)
+
+    def test_significant_events_open_crash_points(self):
+        outcome = ModelChecker(CheckConfig(
+            scenario="conflict", protocol="P1", crashes=1,
+        )).execute(ChoicePolicy())
+        crash_points = [c for c in outcome.log if c.kind == "crash"]
+        assert crash_points
+        for choice in crash_points:
+            assert choice.labels[0].startswith("continue@")
+            point = choice.labels[0].split("@", 1)[1]
+            assert point.split(":", 1)[0] in SIGNIFICANT_KINDS
+
+    def test_candidates_cover_sites_and_coordinators(self):
+        outcome = ModelChecker(CheckConfig(
+            scenario="conflict", protocol="P1", crashes=1,
+        )).execute(ChoicePolicy())
+        first = next(c for c in outcome.log if c.kind == "crash")
+        targets = {
+            label.split(":", 1)[1].split("@", 1)[0]
+            for label in first.labels[1:]
+        }
+        assert {"S1", "S2", "coord.T1", "coord.T2"} <= targets
+
+
+class TestInjectedCrashes:
+    def test_crash_in_exposure_window_is_survived_by_p1(self):
+        """Crash S1 right after it locally commits T1 — the paper's
+        motivating exposure-window failure — and let it recover."""
+        config = CheckConfig(scenario="conflict", protocol="P1", crashes=1)
+        vector = _crash_vector(config, "S1@subtxn.local_commit:T1")
+        outcome = ModelChecker(config).execute(ChoicePolicy(vector))
+        crashes = _events(outcome, "site.crash")
+        recoveries = _events(outcome, "site.recover")
+        assert [e["site_id"] for e in crashes] == ["S1"]
+        assert [e["site_id"] for e in recoveries] == ["S1"]
+        assert outcome.ok, [str(v) for v in outcome.violations]
+
+    def test_coordinator_crash_is_survived(self):
+        config = CheckConfig(scenario="conflict", protocol="P1", crashes=1)
+        vector = _crash_vector(config, "coord.T1@")
+        outcome = ModelChecker(config).execute(ChoicePolicy(vector))
+        assert outcome.ok, [str(v) for v in outcome.violations]
+        assert {o.txn_id for o in outcome.system.outcomes} == {"T1", "T2"}
+
+    def test_budget_limits_injected_crashes(self):
+        config = CheckConfig(scenario="conflict", protocol="P1", crashes=1)
+        vector = _crash_vector(config, "crash:")
+        outcome = ModelChecker(config).execute(ChoicePolicy(vector))
+        # After the single crash the budget is spent: no further crash
+        # choice points may appear in the log.
+        crash_choices = [c for c in outcome.log if c.kind == "crash"]
+        taken = [c for c in crash_choices if c.chosen != 0]
+        assert len(taken) == 1
+        assert crash_choices[-1] is taken[0]
+        assert len(_events(outcome, "site.crash")) == 1

@@ -1,0 +1,109 @@
+"""Explorer: DFS enumeration, bounded mode, replay determinism."""
+
+from repro.check.explorer import CheckConfig, ModelChecker, replay
+from repro.check.scheduler import ChoicePolicy
+
+
+class TestSingleRun:
+    def test_default_schedule_under_p1_is_clean(self):
+        checker = ModelChecker(CheckConfig(scenario="conflict", protocol="P1"))
+        outcome = checker.execute(ChoicePolicy())
+        assert outcome.ok
+        assert outcome.vector == tuple(c.chosen for c in outcome.log)
+        # Both transactions terminated: T1 aborted+compensated, T2 committed.
+        results = {o.txn_id: o.committed for o in outcome.system.outcomes}
+        assert results == {"T1": False, "T2": True}
+
+    def test_default_schedule_under_none_shows_exposure_race(self):
+        """Without the marking rules the conflict scenario's very first
+        schedule forms the Section 4 regular cycle."""
+        checker = ModelChecker(
+            CheckConfig(scenario="conflict", protocol="none")
+        )
+        outcome = checker.execute(ChoicePolicy())
+        oracles = {v.oracle for v in outcome.violations}
+        assert "serializability" in oracles
+        assert any("CT1" in v.detail for v in outcome.violations)
+
+
+class TestDfs:
+    def test_enumerates_distinct_schedules(self):
+        report = ModelChecker(CheckConfig(
+            scenario="conflict", protocol="P1", depth=6, max_schedules=50,
+        )).run()
+        assert report.explored > 1
+        assert report.first_run_choice_points > 0
+
+    def test_p1_exhaustive_no_crash_space_is_clean(self):
+        report = ModelChecker(CheckConfig(
+            scenario="conflict", protocol="P1", depth=999,
+            max_schedules=2000,
+        )).run()
+        assert report.exhausted
+        assert report.explored >= 10
+        assert report.ok
+
+    def test_none_protocol_counterexamples_carry_replay_vectors(self):
+        report = ModelChecker(CheckConfig(
+            scenario="conflict", protocol="none", depth=4, max_schedules=8,
+        )).run()
+        assert not report.ok
+        counterexample = report.counterexamples[0]
+        outcome = replay(
+            CheckConfig(scenario="conflict", protocol="none"),
+            counterexample.choices,
+        )
+        assert outcome.violations == counterexample.violations
+
+    def test_budget_cap_reported_as_not_exhausted(self):
+        report = ModelChecker(CheckConfig(
+            scenario="conflict", protocol="P1", depth=10, crashes=1,
+            max_schedules=5,
+        )).run()
+        assert report.explored == 5
+        assert not report.exhausted
+
+
+class TestBoundedMode:
+    def test_bounded_walks_dedupe_by_vector(self):
+        report = ModelChecker(CheckConfig(
+            scenario="conflict", protocol="P1", crashes=1,
+            bounded=30, max_schedules=30,
+        )).run()
+        assert 0 < report.explored <= 30
+        assert report.ok
+
+    def test_bounded_mode_is_seed_deterministic(self):
+        config = CheckConfig(
+            scenario="conflict", protocol="P1", crashes=1,
+            bounded=10, max_schedules=10, seed=3,
+        )
+        first = ModelChecker(config).run()
+        second = ModelChecker(config).run()
+        assert first.explored == second.explored
+
+
+class TestReplayDeterminism:
+    def test_replay_is_byte_identical(self):
+        config = CheckConfig(scenario="conflict", protocol="P1", crashes=1)
+        base = ModelChecker(config).execute(ChoicePolicy())
+        # Branch into a crash somewhere to make the schedule non-trivial.
+        crash_index = next(
+            i for i, c in enumerate(base.log) if c.kind == "crash"
+        )
+        vector = tuple(
+            c.chosen for c in base.log[:crash_index]
+        ) + (1,)
+        first = replay(config, vector)
+        second = replay(config, vector)
+        assert first.system.obs.jsonl() == second.system.obs.jsonl()
+        assert first.vector == second.vector
+        assert first.violations == second.violations
+
+    def test_duel_scenario_default_schedule_clean_under_p1(self):
+        outcome = ModelChecker(
+            CheckConfig(scenario="duel", protocol="P1")
+        ).execute(ChoicePolicy())
+        assert outcome.ok
+        results = {o.txn_id: o.committed for o in outcome.system.outcomes}
+        assert results == {"T1": False, "T2": False}

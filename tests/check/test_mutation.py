@@ -1,0 +1,63 @@
+"""Mutation testing: a deliberately broken marking rule must be caught.
+
+This is the checker checking itself: if neutering P1's R1 check and
+vote-time validation does *not* produce a counterexample, the oracles (or
+the scenarios) have lost their teeth.
+"""
+
+from repro.check.explorer import CheckConfig, ModelChecker, replay
+from repro.check.trace import render_counterexample
+from repro.core.protocols import CheckResult, P1Protocol
+
+
+class _BrokenP1(P1Protocol):
+    """P1 with rule R1 and the vote-time revalidation disabled.
+
+    ``merge_marks`` (and the marking transitions) stay intact, so the
+    mutation models a protocol that *tracks* marks but never *acts* on
+    them — exactly the kind of bug the checker exists to catch.
+    """
+
+    def check_spawn(self, txn_id, site_id, transmarks):
+        return CheckResult(ok=True)
+
+    def validate_at_vote(self, txn_id, site_id, transmarks):
+        return True
+
+
+def _config(**overrides):
+    defaults = dict(
+        scenario="conflict", protocol=_BrokenP1, depth=6, max_schedules=20,
+    )
+    defaults.update(overrides)
+    return CheckConfig(**defaults)
+
+
+class TestMutationIsCaught:
+    def test_broken_p1_produces_counterexamples(self):
+        report = ModelChecker(_config()).run()
+        assert not report.ok
+        oracles = {
+            v.oracle
+            for ce in report.counterexamples
+            for v in ce.violations
+        }
+        assert "serializability" in oracles
+
+    def test_intact_p1_is_clean_on_the_same_search(self):
+        report = ModelChecker(_config(protocol="P1")).run()
+        assert report.ok
+
+    def test_counterexample_replays_byte_for_byte(self):
+        report = ModelChecker(_config()).run()
+        counterexample = report.counterexamples[0]
+        outcome = replay(_config(), counterexample.choices)
+        assert outcome.violations == counterexample.violations
+        assert outcome.system.obs.jsonl() == counterexample.jsonl
+
+    def test_counterexample_renders_a_trace(self):
+        report = ModelChecker(_config()).run()
+        text = render_counterexample(report.counterexamples[0])
+        assert "replay vector:" in text
+        assert "regular cycle" in text
+        assert "comp.start" in text  # the compensation is on the trace

@@ -1,0 +1,128 @@
+"""Controlled scheduler: choice points, pruning, replay, budgets."""
+
+import pytest
+
+from repro.check.scheduler import ChoicePolicy, ControlledEnvironment, RandomPolicy
+from repro.errors import ScheduleDivergence, StepBudgetExceeded
+from repro.sim.rng import Rng
+
+
+def _annotated_timeout(env, delay, recipient, label, sink):
+    timeout = env.timeout(delay)
+    timeout.annotation = ("net.deliver", recipient, label)
+    timeout.callbacks.append(lambda _evt: sink.append(label))
+    return timeout
+
+
+class TestChoicePoints:
+    def test_same_recipient_simultaneous_deliveries_branch(self):
+        policy = ChoicePolicy()
+        env = ControlledEnvironment(policy)
+        order = []
+        _annotated_timeout(env, 1.0, "S1", "a->S1", order)
+        _annotated_timeout(env, 1.0, "S1", "b->S1", order)
+        env.run()
+        assert order == ["a->S1", "b->S1"]
+        assert len(policy.log) == 1
+        choice = policy.log[0]
+        assert choice.kind == "deliver"
+        assert choice.labels == ("a->S1", "b->S1")
+        assert choice.branch == (0, 1)
+
+    def test_prefix_flips_delivery_order(self):
+        policy = ChoicePolicy(prefix=(1,))
+        env = ControlledEnvironment(policy)
+        order = []
+        _annotated_timeout(env, 1.0, "S1", "a->S1", order)
+        _annotated_timeout(env, 1.0, "S1", "b->S1", order)
+        env.run()
+        assert order == ["b->S1", "a->S1"]
+
+    def test_cross_site_deliveries_pruned(self):
+        """Deliveries to different recipients commute: no choice point."""
+        policy = ChoicePolicy()
+        env = ControlledEnvironment(policy, prune=True)
+        order = []
+        _annotated_timeout(env, 1.0, "S1", "a->S1", order)
+        _annotated_timeout(env, 1.0, "S2", "b->S2", order)
+        env.run()
+        assert order == ["a->S1", "b->S2"]
+        assert policy.log == []
+
+    def test_no_prune_explores_cross_site_orders(self):
+        policy = ChoicePolicy(prefix=(1,))
+        env = ControlledEnvironment(policy, prune=False)
+        order = []
+        _annotated_timeout(env, 1.0, "S1", "a->S1", order)
+        _annotated_timeout(env, 1.0, "S2", "b->S2", order)
+        env.run()
+        assert order == ["b->S2", "a->S1"]
+
+    def test_internal_events_run_before_deliveries(self):
+        policy = ChoicePolicy()
+        env = ControlledEnvironment(policy)
+        order = []
+        _annotated_timeout(env, 1.0, "S1", "a->S1", order)
+        _annotated_timeout(env, 1.0, "S1", "b->S1", order)
+        plain = env.timeout(1.0)
+        plain.callbacks.append(lambda _evt: order.append("internal"))
+        env.run()
+        assert order[0] == "internal"
+        # The delivery pair still forms one choice point afterwards.
+        assert len(policy.log) == 1
+
+    def test_deliveries_at_different_times_never_branch(self):
+        policy = ChoicePolicy()
+        env = ControlledEnvironment(policy)
+        order = []
+        _annotated_timeout(env, 1.0, "S1", "a->S1", order)
+        _annotated_timeout(env, 2.0, "S1", "b->S1", order)
+        env.run()
+        assert order == ["a->S1", "b->S1"]
+        assert policy.log == []
+
+
+class TestPolicies:
+    def test_divergent_prefix_raises(self):
+        policy = ChoicePolicy(prefix=(7,))
+        with pytest.raises(ScheduleDivergence):
+            policy.choose("deliver", ["a", "b"], [0, 1])
+
+    def test_vector_records_choices(self):
+        policy = ChoicePolicy(prefix=(1,))
+        policy.choose("deliver", ["a", "b"], [0, 1])
+        policy.choose("deliver", ["c", "d"], [0, 1])
+        assert policy.vector == (1, 0)
+
+    def test_random_policy_is_seed_deterministic(self):
+        picks1 = [
+            RandomPolicy(Rng(5)).choose("deliver", ["a", "b", "c"], [0, 1, 2])
+            for _ in range(20)
+        ]
+        picks2 = [
+            RandomPolicy(Rng(5)).choose("deliver", ["a", "b", "c"], [0, 1, 2])
+            for _ in range(20)
+        ]
+        assert picks1 == picks2
+
+    def test_random_policy_crash_bias(self):
+        """crash_probability=0 always continues; =1 always crashes."""
+        never = RandomPolicy(Rng(1), crash_probability=0.0)
+        always = RandomPolicy(Rng(1), crash_probability=1.0)
+        for _ in range(10):
+            assert never.choose("crash", ["go", "c1", "c2"], [0, 1, 2]) == 0
+            assert always.choose("crash", ["go", "c1", "c2"], [0, 1, 2]) != 0
+
+
+class TestBudget:
+    def test_step_budget_exceeded(self):
+        policy = ChoicePolicy()
+        env = ControlledEnvironment(policy, max_steps=3)
+
+        def ticker():
+            while True:
+                yield env.timeout(1.0)
+
+        env.process(ticker())
+        with pytest.raises(StepBudgetExceeded):
+            env.run()

@@ -1,0 +1,45 @@
+"""A scaled-down version of the CI smoke: DFS with crashes stays clean.
+
+The full quota (>= 1000 schedules) runs in CI via ``repro check --smoke``;
+here a few hundred schedules keep the tier-1 suite fast while still
+covering the crash enumerator x scheduler x oracle integration.
+"""
+
+from repro.check.explorer import CheckConfig, ModelChecker
+from repro.cli import main
+
+
+class TestSmoke:
+    def test_small_smoke_is_clean(self):
+        report = ModelChecker(CheckConfig(
+            scenario="conflict", protocol="P1",
+            depth=14, crashes=2, max_schedules=250,
+        )).run()
+        assert report.explored == 250
+        assert report.ok, [
+            str(v) for ce in report.counterexamples for v in ce.violations
+        ]
+
+    def test_cli_check_exit_codes(self, capsys):
+        assert main([
+            "check", "--protocol", "P1", "--depth", "4",
+            "--max-schedules", "5",
+        ]) == 0
+        assert "no oracle violations" in capsys.readouterr().out
+        assert main([
+            "check", "--protocol", "none", "--depth", "4",
+            "--max-schedules", "5",
+        ]) == 1
+        out = capsys.readouterr().out
+        assert "counterexample" in out
+        assert "replay vector:" in out
+
+    def test_cli_replay_emits_jsonl(self, capsys):
+        code = main([
+            "check", "--protocol", "none", "--replay", "0,0,1",
+        ])
+        captured = capsys.readouterr()
+        assert code == 1
+        first = captured.out.splitlines()[0]
+        assert first.startswith("{")
+        assert "serializability" in captured.err

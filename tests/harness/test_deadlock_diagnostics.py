@@ -1,0 +1,58 @@
+"""SimulationDeadlock diagnostics: the wait-for graph rides the exception."""
+
+import pytest
+
+from repro.errors import SimulationDeadlock
+from repro.harness.system import System, SystemConfig
+from repro.sim.engine import Environment
+from repro.txn.operations import WriteOp
+
+
+class TestEnvironmentHook:
+    def test_diagnostic_text_appended_to_deadlock(self):
+        env = Environment()
+        env.add_deadlock_diagnostic(lambda: "extra context line")
+        stop = env.event()  # never triggered
+        with pytest.raises(SimulationDeadlock) as excinfo:
+            env.run(stop)
+        assert "extra context line" in str(excinfo.value)
+
+    def test_failing_diagnostic_never_masks_the_deadlock(self):
+        env = Environment()
+
+        def broken() -> str:
+            raise RuntimeError("diagnostic bug")
+
+        env.add_deadlock_diagnostic(broken)
+        with pytest.raises(SimulationDeadlock):
+            env.run(env.event())
+
+    def test_empty_diagnostics_add_nothing(self):
+        env = Environment()
+        env.add_deadlock_diagnostic(lambda: "")
+        with pytest.raises(SimulationDeadlock) as excinfo:
+            env.run(env.event())
+        assert str(excinfo.value).count("\n") == 0
+
+
+class TestSystemSnapshot:
+    def test_deadlock_message_includes_waits_for_edges(self):
+        """A transaction left waiting on a held lock when the queue drains
+        produces a deadlock whose message names the blocked edge."""
+        system = System(SystemConfig(n_sites=1))
+        site = system.sites["S1"]
+        site.ltm.begin("L1")
+        holder = system.env.process(
+            site.ltm.run_ops("L1", [WriteOp("k0", 1)])
+        )
+        system.env.run(holder)  # L1 now holds X(k0) and never releases
+        site.ltm.begin("L2")
+        blocked = system.env.process(
+            site.ltm.run_ops("L2", [WriteOp("k0", 2)])
+        )
+        with pytest.raises(SimulationDeadlock) as excinfo:
+            system.env.run(blocked)
+        message = str(excinfo.value)
+        assert "lock wait-for graph at deadlock" in message
+        assert "S1" in message
+        assert "L2 -> L1" in message
