@@ -3,11 +3,9 @@
 Every benchmark prints the experiment table it regenerates (run with
 ``pytest benchmarks/ --benchmark-only -s`` to see them); the numbers are
 recorded in EXPERIMENTS.md.
+
+The ``repro`` package resolves exactly as in ROADMAP's tier-1 invocation
+(``PYTHONPATH=src python -m pytest``): the repo-root ``conftest.py`` covers
+any pytest run started from the checkout, so no local ``sys.path`` surgery
+happens here anymore.
 """
-
-import sys
-from pathlib import Path
-
-_SRC = str(Path(__file__).parent.parent / "src")
-if _SRC not in sys.path:
-    sys.path.insert(0, _SRC)

@@ -26,6 +26,7 @@ from repro.check.explorer import (
     replay,
 )
 from repro.check.oracles import Violation, run_oracles
+from repro.check.parallel import WAVE_SIZE, RunRecord
 from repro.check.scheduler import (
     Choice,
     ChoicePolicy,
@@ -43,6 +44,8 @@ __all__ = [
     "Counterexample",
     "ModelChecker",
     "RunOutcome",
+    "RunRecord",
+    "WAVE_SIZE",
     "replay",
     "Violation",
     "run_oracles",

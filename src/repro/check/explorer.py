@@ -16,6 +16,14 @@ depth bound would cut off.
 A failed run becomes a :class:`Counterexample` carrying the minimal choice
 vector (trailing default choices stripped), every oracle verdict, and the
 run's JSONL event trace; :func:`replay` re-executes it byte-for-byte.
+
+Both search modes drain the frontier in fixed-size *waves* handed to a
+runner (:mod:`repro.check.parallel`): wave composition, result order, and
+budget checks are independent of how a wave is executed, so ``jobs=N``
+reports are byte-identical to ``jobs=1`` (modulo ``elapsed``) — parallelism
+and prefix reuse change wall-clock time only.  The one caveat is
+``time_budget``: a wall-clock cutoff lands on whatever wave boundary the
+host reaches in time, on any job count.
 """
 
 from __future__ import annotations
@@ -26,11 +34,11 @@ from typing import Sequence
 
 from repro.check.crashes import CrashInjector
 from repro.check.oracles import Violation, run_oracles
+from repro.check.parallel import WAVE_SIZE, RunRecord, make_runner
 from repro.check.scheduler import (
     Choice,
     ChoicePolicy,
     ControlledEnvironment,
-    RandomPolicy,
 )
 from repro.check.workloads import Scenario, get_scenario, make_system_config
 from repro.commit.base import CommitScheme
@@ -43,7 +51,6 @@ from repro.errors import (
     StepBudgetExceeded,
 )
 from repro.harness.system import System
-from repro.sim.rng import Rng
 
 
 @dataclass
@@ -76,6 +83,15 @@ class CheckConfig:
     time_budget: float | None = None
     #: serializability oracle: literal criterion instead of effective
     strict: bool = False
+    #: worker processes; > 1 shards waves over a multiprocessing pool with
+    #: a report byte-identical to ``jobs=1``
+    jobs: int = 1
+    #: simulate a shared sibling stem once and ``os.fork`` per alternative
+    #: (POSIX; silently falls back to re-running where unavailable)
+    prefix_reuse: bool = True
+    #: cross-check the incremental conflict index against the O(n²)
+    #: pairwise SG rebuild after every run (mismatch = counterexample)
+    paranoid: bool = False
 
 
 @dataclass
@@ -188,6 +204,13 @@ class ModelChecker:
                         "queue drained",
                     ))
             violations.extend(run_oracles(system, strict=config.strict))
+        if config.paranoid:
+            from repro.sg.graph import verify_conflict_index
+
+            try:
+                verify_conflict_index(system.global_history())
+            except HistoryError as exc:
+                violations.append(Violation("paranoid", str(exc)))
         return RunOutcome(
             vector=policy.vector,
             log=tuple(policy.log),
@@ -200,10 +223,14 @@ class ModelChecker:
     def run(self) -> CheckReport:
         """Execute the configured search (DFS or bounded random walks)."""
         started = time.monotonic()
-        if self.config.bounded > 0:
-            report = self._run_bounded(started)
-        else:
-            report = self._run_dfs(started)
+        runner = make_runner(self)
+        try:
+            if self.config.bounded > 0:
+                report = self._run_bounded(started, runner)
+            else:
+                report = self._run_dfs(started, runner)
+        finally:
+            runner.close()
         report.elapsed = time.monotonic() - started
         return report
 
@@ -217,7 +244,13 @@ class ModelChecker:
             return False
         return True
 
-    def _run_dfs(self, started: float) -> CheckReport:
+    def _run_dfs(self, started: float, runner) -> CheckReport:
+        """Wave-based DFS: pop up to ``WAVE_SIZE`` frontier vectors, run
+        them through the runner, process the records in wave order.
+
+        Wave size is capped by the remaining schedule budget (never by the
+        job count), so the frontier evolves identically for any ``jobs``.
+        """
         stack: list[tuple[int, ...]] = [()]
         seen: set[tuple[int, ...]] = {()}
         explored = 0
@@ -228,25 +261,29 @@ class ModelChecker:
             if not self._budget_left(started, explored):
                 exhausted = False
                 break
-            prefix = stack.pop()
-            outcome = self.execute(ChoicePolicy(prefix))
-            explored += 1
-            if explored == 1:
-                first_points = len(outcome.log)
-            if outcome.violations:
-                counterexamples.append(_as_counterexample(outcome))
-            for depth in range(
-                len(prefix), min(len(outcome.log), self.config.depth)
-            ):
-                choice = outcome.log[depth]
-                stem = tuple(c.chosen for c in outcome.log[:depth])
-                for alternative in choice.branch:
-                    if alternative == choice.chosen:
-                        continue
-                    vector = stem + (alternative,)
-                    if vector not in seen:
-                        seen.add(vector)
-                        stack.append(vector)
+            take = min(
+                len(stack), self.config.max_schedules - explored, WAVE_SIZE
+            )
+            wave = [stack.pop() for _ in range(take)]
+            for record in runner.run_vectors(wave):
+                explored += 1
+                if explored == 1:
+                    first_points = len(record.log)
+                if record.violations:
+                    counterexamples.append(_as_counterexample(record))
+                for depth in range(
+                    len(record.prefix),
+                    min(len(record.log), self.config.depth),
+                ):
+                    choice = record.log[depth]
+                    stem = tuple(c.chosen for c in record.log[:depth])
+                    for alternative in choice.branch:
+                        if alternative == choice.chosen:
+                            continue
+                        vector = stem + (alternative,)
+                        if vector not in seen:
+                            seen.add(vector)
+                            stack.append(vector)
         return CheckReport(
             explored=explored,
             counterexamples=counterexamples,
@@ -255,28 +292,31 @@ class ModelChecker:
             first_run_choice_points=first_points,
         )
 
-    def _run_bounded(self, started: float) -> CheckReport:
-        rng = Rng(self.config.seed).fork("bounded-walks")
+    def _run_bounded(self, started: float, runner) -> CheckReport:
+        """Bounded mode in waves of walk indices (walks are reconstructible
+        from their index alone, so they shard trivially)."""
         explored = 0
         first_points = 0
         seen: set[tuple[int, ...]] = set()
         counterexamples: list[Counterexample] = []
         exhausted = True
-        for walk in range(self.config.bounded):
-            if not self._budget_left(started, explored):
-                exhausted = False
-                break
-            outcome = self.execute(
-                RandomPolicy(rng.fork(f"walk-{walk}"))
-            )
-            if outcome.vector in seen:
-                continue
-            seen.add(outcome.vector)
-            explored += 1
-            if explored == 1:
-                first_points = len(outcome.log)
-            if outcome.violations:
-                counterexamples.append(_as_counterexample(outcome))
+        walk = 0
+        while walk < self.config.bounded and exhausted:
+            take = min(WAVE_SIZE, self.config.bounded - walk)
+            records = runner.run_walks(range(walk, walk + take))
+            walk += take
+            for record in records:
+                if not self._budget_left(started, explored):
+                    exhausted = False
+                    break
+                if record.vector in seen:
+                    continue
+                seen.add(record.vector)
+                explored += 1
+                if explored == 1:
+                    first_points = len(record.log)
+                if record.violations:
+                    counterexamples.append(_as_counterexample(record))
         return CheckReport(
             explored=explored,
             counterexamples=counterexamples,
@@ -286,17 +326,17 @@ class ModelChecker:
         )
 
 
-def _as_counterexample(outcome: RunOutcome) -> Counterexample:
+def _as_counterexample(record: RunRecord) -> Counterexample:
     """Package a failing run; strips trailing default (0) choices — replay
     fills anything past the vector with defaults, so they are redundant."""
-    vector = list(outcome.vector)
+    vector = list(record.vector)
     while vector and vector[-1] == 0:
         vector.pop()
     return Counterexample(
         choices=tuple(vector),
-        violations=outcome.violations,
-        log=outcome.log,
-        jsonl=outcome.system.obs.jsonl(),
+        violations=record.violations,
+        log=record.log,
+        jsonl=record.jsonl or "",
     )
 
 

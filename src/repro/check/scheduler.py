@@ -141,6 +141,9 @@ class ControlledEnvironment(Environment):
     in the module docstring.
     """
 
+    #: the controlled scheduler is the one consumer of delivery annotations
+    annotate_deliveries = True
+
     def __init__(
         self,
         policy: ChoicePolicy,

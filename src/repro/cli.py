@@ -17,7 +17,10 @@ Commands:
 * ``check`` — the protocol model checker: enumerate message interleavings
   and crash points of an adversarial scenario and judge every explored
   schedule with the paper-invariant oracles (``--smoke`` is the CI
-  preset).
+  preset; ``--jobs N`` shards the search with an identical report);
+* ``bench`` — the pinned performance workloads: checker schedules/s,
+  simulator txns/s, and SG-build times, written as ``BENCH_*.json`` and
+  gated against the committed baselines in ``benchmarks/baselines/``.
 
 Everything is deterministic for a given ``--seed``.
 """
@@ -365,6 +368,8 @@ def cmd_check(args: argparse.Namespace) -> int:
         prune=not args.no_prune,
         time_budget=args.budget,
         strict=args.strict,
+        jobs=args.jobs,
+        paranoid=args.paranoid,
     )
     smoke_quota = 0
     if args.smoke:
@@ -393,7 +398,7 @@ def cmd_check(args: argparse.Namespace) -> int:
     print(
         f"scenario={config.scenario} protocol={config.protocol} "
         f"mode={mode} depth={config.depth} crashes={config.crashes} "
-        f"prune={config.prune}"
+        f"prune={config.prune} jobs={config.jobs}"
     )
     print(
         f"explored {report.explored} distinct schedules in "
@@ -419,6 +424,64 @@ def cmd_check(args: argparse.Namespace) -> int:
             "required schedules"
         )
         return 1
+    return 0
+
+
+def cmd_bench(args: argparse.Namespace) -> int:
+    """Run the pinned performance workloads; write BENCH_*.json artifacts.
+
+    With ``--baseline DIR`` the gated throughput metrics are compared to
+    the committed baseline and the command exits 1 on a regression beyond
+    ``--tolerance``.  ``--update-baseline`` rewrites the baseline files
+    from this run instead (do this deliberately, on the reference host).
+    """
+    import os
+
+    from repro.harness.bench import compare_to_baseline, run_suite, to_json
+
+    payloads = run_suite(smoke=args.smoke, seed=args.seed, jobs=args.jobs)
+    os.makedirs(args.out, exist_ok=True)
+    for name, payload in payloads.items():
+        path = os.path.join(args.out, name)
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(to_json(payload))
+        print(f"wrote {path}")
+        for bench_name, metrics in sorted(payload["results"].items()):
+            shown = "  ".join(
+                f"{metric}={value:.1f}"
+                for metric, value in sorted(metrics.items())
+                if metric.endswith("_per_s") or not metric.endswith("_s")
+            )
+            print(f"  {bench_name}: {shown}")
+
+    if args.update_baseline:
+        os.makedirs(args.baseline, exist_ok=True)
+        for name, payload in payloads.items():
+            path = os.path.join(args.baseline, name)
+            with open(path, "w", encoding="utf-8") as handle:
+                handle.write(to_json(payload))
+            print(f"baseline updated: {path}")
+        return 0
+
+    regressions: list[str] = []
+    import json as _json
+
+    for name, payload in payloads.items():
+        path = os.path.join(args.baseline, name)
+        if not os.path.exists(path):
+            print(f"no baseline {path}; skipping gate for {name}")
+            continue
+        with open(path, encoding="utf-8") as handle:
+            baseline = _json.load(handle)
+        regressions.extend(
+            compare_to_baseline(payload, baseline, args.tolerance)
+        )
+    if regressions:
+        print("PERF REGRESSION:")
+        for line in regressions:
+            print(f"  {line}")
+        return 1
+    print(f"within {args.tolerance:.0%} of baseline")
     return 0
 
 
@@ -510,6 +573,12 @@ def build_parser() -> argparse.ArgumentParser:
                        help="wall-clock budget in seconds")
     check.add_argument("--strict", action="store_true",
                        help="literal criterion instead of effective")
+    check.add_argument("--jobs", type=int, default=1,
+                       help="worker processes; report is byte-identical "
+                            "to --jobs 1")
+    check.add_argument("--paranoid", action="store_true",
+                       help="cross-check the incremental conflict index "
+                            "against the O(n^2) SG rebuild on every run")
     check.add_argument("--smoke", action="store_true",
                        help="CI preset: conflict/P1, crashes, 1k-schedule "
                             "quota")
@@ -519,6 +588,27 @@ def build_parser() -> argparse.ArgumentParser:
                        help="replay one choice vector; prints its JSONL "
                             "trace")
     check.set_defaults(fn=cmd_check)
+
+    bench = sub.add_parser(
+        "bench", parents=[seed_parent],
+        help="pinned perf workloads; BENCH_*.json + baseline gate",
+    )
+    bench.add_argument("--smoke", action="store_true",
+                       help="CI-sized workloads (same metrics, smaller "
+                            "pins)")
+    bench.add_argument("--out", default=".",
+                       help="directory for BENCH_check.json / "
+                            "BENCH_sg.json")
+    bench.add_argument("--baseline", default="benchmarks/baselines",
+                       help="committed baseline directory for the "
+                            "regression gate")
+    bench.add_argument("--tolerance", type=_positive_float, default=0.25,
+                       help="allowed fractional drop in gated metrics")
+    bench.add_argument("--update-baseline", action="store_true",
+                       help="rewrite the baseline files from this run")
+    bench.add_argument("--jobs", type=int, default=1,
+                       help="worker processes for the check workload")
+    bench.set_defaults(fn=cmd_bench)
     return parser
 
 

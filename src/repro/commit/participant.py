@@ -117,13 +117,16 @@ class Participant:
     # -- dispatch loop ------------------------------------------------------------
 
     def _dispatch(self):
+        # Built once, not per message: the dispatch loop runs for every
+        # delivery and is on the checker's innermost hot path.
+        handlers = {
+            MsgType.SUBTXN_REQ: self._handle_subtxn,
+            MsgType.VOTE_REQ: self._handle_vote_req,
+            MsgType.DECISION: self._handle_decision,
+        }
         while True:
             msg = yield self.network.receive(self.site.site_id)
-            handler = {
-                MsgType.SUBTXN_REQ: self._handle_subtxn,
-                MsgType.VOTE_REQ: self._handle_vote_req,
-                MsgType.DECISION: self._handle_decision,
-            }.get(msg.msg_type)
+            handler = handlers.get(msg.msg_type)
             if handler is None:
                 continue
             proc = self.env.process(

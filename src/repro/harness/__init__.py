@@ -11,6 +11,7 @@ free-function entry points (``collect_metrics``, ``transaction_timeline``,
 ``lock_gantt``, ``marking_audit``) remain as deprecation shims.
 """
 
+from repro.harness.bench import compare_to_baseline, run_suite
 from repro.harness.experiment import ExperimentResult, Sweep, format_table
 from repro.harness.metrics import MetricsReport, collect_metrics
 from repro.harness.system import System, SystemConfig
@@ -23,7 +24,9 @@ __all__ = [
     "System",
     "SystemConfig",
     "collect_metrics",
+    "compare_to_baseline",
     "format_table",
+    "run_suite",
     "lock_gantt",
     "marking_audit",
     "transaction_timeline",

@@ -1,0 +1,242 @@
+"""Pinned performance workloads behind ``repro bench``.
+
+Three workloads, chosen to cover the repo's hot paths end to end:
+
+* ``check`` — the model checker's smoke-style DFS (conflict scenario, P1,
+  crash injection).  Metric: schedules explored per wall-clock second.
+* ``throughput`` — a 2-site conflict-heavy O2PC workload through the full
+  simulator (locks, network, commit protocol, compensation).  Metric:
+  committed+aborted transactions per wall-clock second.
+* ``sg`` — serialization-graph builds over seeded random histories at
+  10³–10⁵ operations: the incremental :class:`~repro.sg.index.ConflictIndex`
+  view versus the O(n²) pairwise scan it replaced (the scan is capped at
+  10⁴ ops — beyond that it is minutes of wall time, which is the point).
+
+``run_suite`` returns JSON-ready payloads for ``BENCH_check.json`` and
+``BENCH_sg.json``.  Regression gating compares only throughput-style
+metrics (``*_per_s``, ``speedup_vs_scan``) against a committed baseline:
+wall-time percentiles are recorded for trend-reading but are too host-
+dependent to gate on.  The CI job fails when any gated metric drops more
+than the tolerance (default 25%) below the baseline.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from typing import Any, Callable
+
+from repro.sg.graph import GlobalSG
+from repro.sg.history import GlobalHistory
+from repro.sim.rng import Rng
+
+#: metrics compared against the baseline (higher is better); everything
+#: else in the payloads is informational
+GATED_METRICS = ("schedules_per_s", "txns_per_s", "speedup_vs_scan")
+
+SCHEMA_VERSION = 1
+
+
+def _percentile(samples: list[float], q: float) -> float:
+    """Nearest-rank percentile (small-sample friendly)."""
+    ordered = sorted(samples)
+    rank = max(0, min(len(ordered) - 1, round(q / 100 * (len(ordered) - 1))))
+    return ordered[rank]
+
+
+def _timed(fn: Callable[[], Any]) -> tuple[float, Any]:
+    started = time.perf_counter()
+    result = fn()
+    return time.perf_counter() - started, result
+
+
+# -- workload: model checker ---------------------------------------------------
+
+
+def bench_check(
+    seed: int = 0,
+    max_schedules: int = 300,
+    jobs: int = 1,
+    repeats: int = 3,
+) -> dict[str, float]:
+    """Schedules/s of the smoke-style DFS (conflict, P1, crash budget 2)."""
+    from repro.check.explorer import CheckConfig, ModelChecker
+
+    walls: list[float] = []
+    explored = 0
+    for _ in range(repeats):
+        report = ModelChecker(CheckConfig(
+            scenario="conflict", protocol="P1", seed=seed,
+            depth=14, crashes=2, max_schedules=max_schedules, jobs=jobs,
+        )).run()
+        explored = report.explored
+        walls.append(report.elapsed)
+    best = min(walls)
+    return {
+        "schedules": float(explored),
+        "jobs": float(jobs),
+        "schedules_per_s": explored / best if best else 0.0,
+        "p50_wall_s": _percentile(walls, 50),
+        "p95_wall_s": _percentile(walls, 95),
+    }
+
+
+# -- workload: simulator throughput --------------------------------------------
+
+
+def bench_throughput(
+    seed: int = 0, transactions: int = 150, repeats: int = 3
+) -> dict[str, float]:
+    """Wall-clock txns/s of a 2-site conflict-heavy O2PC workload."""
+    from repro.commit.base import CommitScheme
+    from repro.harness.system import System, SystemConfig
+    from repro.workload.generator import WorkloadConfig, WorkloadGenerator
+
+    walls: list[float] = []
+    for _ in range(repeats):
+        system = System(SystemConfig(
+            n_sites=2, scheme=CommitScheme.O2PC, protocol="P1",
+            keys_per_site=8, seed=seed,
+        ))
+        gen = WorkloadGenerator(system, WorkloadConfig(
+            n_transactions=transactions, abort_probability=0.1,
+            read_fraction=0.4, arrival_mean=1.0, zipf_theta=0.8,
+        ), seed=seed)
+        wall, _ = _timed(gen.run)
+        walls.append(wall)
+    best = min(walls)
+    return {
+        "transactions": float(transactions),
+        "txns_per_s": transactions / best if best else 0.0,
+        "p50_wall_s": _percentile(walls, 50),
+        "p95_wall_s": _percentile(walls, 95),
+    }
+
+
+# -- workload: serialization-graph builds --------------------------------------
+
+
+def _random_history(
+    n_ops: int, seed: int = 0, write_fraction: float = 0.3
+) -> GlobalHistory:
+    """A seeded single-site history with bounded per-key conflict density.
+
+    Keys and transactions scale with ``n_ops`` so the expected number of
+    transactions touching one key stays roughly constant — the regime the
+    checker's histories live in, and one where the incremental index does
+    real per-operation work.
+    """
+    rng = Rng(seed).fork(f"bench-sg-{n_ops}")
+    n_keys = max(8, n_ops // 50)
+    n_txns = max(4, n_ops // 10)
+    history = GlobalHistory()
+    site = history.site("S1")
+    for _ in range(n_ops):
+        txn = f"T{rng.randint(0, n_txns - 1)}"
+        key = f"k{rng.randint(0, n_keys - 1)}"
+        if txn in site.committed or txn in site.aborted:
+            continue
+        if rng.chance(write_fraction):
+            site.write(txn, key)
+        else:
+            site.read(txn, key)
+    for txn_id in sorted(site.transactions()):
+        site.commit(txn_id)
+    return history
+
+
+def bench_sg(
+    sizes: tuple[int, ...] = (1_000, 10_000, 100_000),
+    scan_cap: int = 10_000,
+    seed: int = 0,
+) -> dict[str, dict[str, float]]:
+    """Incremental SG build vs the pairwise scan, per history size."""
+    results: dict[str, dict[str, float]] = {}
+    for size in sizes:
+        record_wall, history = _timed(lambda s=size: _random_history(s, seed))
+        index_wall, fast = _timed(
+            lambda h=history: GlobalSG.from_history(h)
+        )
+        metrics = {
+            "ops": float(size),
+            "edges": float(len(fast.union_edges())),
+            "record_s": record_wall,
+            "index_build_s": index_wall,
+        }
+        if size <= scan_cap:
+            scan_wall, slow = _timed(
+                lambda h=history: GlobalSG.from_history_scan(h)
+            )
+            if slow.union_edges() != fast.union_edges():
+                raise AssertionError(
+                    f"index/scan divergence at {size} ops — bench aborted"
+                )
+            metrics["scan_build_s"] = scan_wall
+            metrics["speedup_vs_scan"] = (
+                scan_wall / index_wall if index_wall else float("inf")
+            )
+        results[f"ops_{size}"] = metrics
+    return results
+
+
+# -- suite orchestration -------------------------------------------------------
+
+
+def run_suite(
+    smoke: bool = False, seed: int = 0, jobs: int = 1
+) -> dict[str, dict[str, Any]]:
+    """Run every workload; returns ``{file name: JSON payload}``.
+
+    ``smoke`` shrinks the pinned sizes for CI wall-time; the file names and
+    metric names are identical, so baselines stay comparable as long as
+    they were recorded at the same size (the payload carries the knobs).
+    """
+    if smoke:
+        check = bench_check(seed=seed, max_schedules=300, jobs=jobs,
+                            repeats=3)
+        thru = bench_throughput(seed=seed, transactions=100, repeats=3)
+        sg = bench_sg(sizes=(1_000, 10_000), scan_cap=10_000, seed=seed)
+    else:
+        check = bench_check(seed=seed, max_schedules=800, jobs=jobs,
+                            repeats=3)
+        thru = bench_throughput(seed=seed, transactions=250, repeats=3)
+        sg = bench_sg(sizes=(1_000, 10_000, 100_000), scan_cap=10_000,
+                      seed=seed)
+    header = {"schema": SCHEMA_VERSION, "smoke": smoke, "seed": seed}
+    return {
+        "BENCH_check.json": {
+            **header,
+            "results": {"check": check, "throughput": thru},
+        },
+        "BENCH_sg.json": {**header, "results": sg},
+    }
+
+
+def to_json(payload: dict[str, Any]) -> str:
+    """Stable JSON encoding for artifacts and baselines."""
+    return json.dumps(payload, indent=2, sort_keys=True) + "\n"
+
+
+def compare_to_baseline(
+    current: dict[str, Any], baseline: dict[str, Any], tolerance: float
+) -> list[str]:
+    """Regression lines for gated metrics; empty means within tolerance.
+
+    Only metrics present in *both* payloads are compared, so adding a
+    workload never fails the gate until its baseline is recorded.
+    """
+    regressions: list[str] = []
+    base_results = baseline.get("results", {})
+    for name, metrics in current.get("results", {}).items():
+        base_metrics = base_results.get(name, {})
+        for metric in GATED_METRICS:
+            if metric not in metrics or metric not in base_metrics:
+                continue
+            now, then = metrics[metric], base_metrics[metric]
+            floor = then * (1.0 - tolerance)
+            if now < floor:
+                regressions.append(
+                    f"{name}.{metric}: {now:.1f} < {floor:.1f} "
+                    f"(baseline {then:.1f}, tolerance {tolerance:.0%})"
+                )
+    return regressions

@@ -240,6 +240,7 @@ class LockManager:
     def _grant(
         self, txn_id: str, key: str, mode: LockMode, requested_at: float
     ) -> None:
+        bus = self.env.bus
         grants = self._holders.setdefault(key, {})
         existing = grants.get(txn_id)
         if existing is not None:
@@ -253,7 +254,6 @@ class LockManager:
                     released_at=self.env.now,
                 )
             )
-            bus = self.env.bus
             if bus.enabled:
                 bus.publish(LockReleased(
                     site_id=self.site_id, txn_id=txn_id, key=key,
@@ -264,7 +264,6 @@ class LockManager:
         grants[txn_id] = _Grant(mode=mode, granted_at=self.env.now)
         waited = self.env.now - requested_at
         self.wait_log.append((txn_id, key, waited))
-        bus = self.env.bus
         if bus.enabled:
             bus.publish(LockGranted(
                 site_id=self.site_id, txn_id=txn_id, key=key,

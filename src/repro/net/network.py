@@ -195,14 +195,16 @@ class Network:
         delay = model.draw(self.rng)
         # Delivery is a bare annotated timeout (not a process): the
         # annotation identifies it as a reorderable occurrence, which is
-        # what the model checker's controlled scheduler branches on.
+        # what the model checker's controlled scheduler branches on.  The
+        # label is only built when a controlled scheduler will read it.
         arrival = self.env.timeout(delay)
-        arrival.annotation = (
-            "net.deliver",
-            message.recipient,
-            f"{message.msg_type.value}:{message.sender}"
-            f"->{message.recipient}:{message.txn_id}",
-        )
+        if self.env.annotate_deliveries:
+            arrival.annotation = (
+                "net.deliver",
+                message.recipient,
+                f"{message.msg_type.value}:{message.sender}"
+                f"->{message.recipient}:{message.txn_id}",
+            )
         arrival.callbacks.append(
             lambda _evt, m=message: self._finish_delivery(m)
         )

@@ -16,6 +16,7 @@ from dataclasses import dataclass, field
 
 from repro.errors import HistoryError
 from repro.sg.conflicts import OpKind, Operation
+from repro.sg.index import ConflictIndex
 
 
 @dataclass
@@ -26,17 +27,37 @@ class SiteHistory:
     ops: list[Operation] = field(default_factory=list)
     committed: set[str] = field(default_factory=set)
     aborted: set[str] = field(default_factory=set)
+    #: conflict edges maintained as operations are recorded (the SG layer
+    #: reads this instead of rescanning ``ops`` pairwise)
+    index: ConflictIndex = field(
+        default_factory=ConflictIndex, repr=False, compare=False
+    )
+    _next_seq: int = field(default=0, repr=False, compare=False)
+
+    def __post_init__(self) -> None:
+        # Constructed around a pre-recorded ops list (nothing in the repo
+        # does today, but it is cheap insurance): index what is there and
+        # resume the seq counter past it.
+        for op in self.ops:
+            self.index.record(op)
+        if self.ops:
+            self._next_seq = max(op.seq for op in self.ops) + 1
 
     def _append(self, txn_id: str, kind: OpKind, key: str) -> Operation:
         if txn_id in self.committed or txn_id in self.aborted:
             raise HistoryError(
                 f"{txn_id} already terminated at {self.site_id}"
             )
+        # Monotonic counter, NOT len(self.ops): expunge removes operations,
+        # so a length-based seq would be re-issued and break the "seq orders
+        # operations" invariant the explain/order layers rely on.
         op = Operation(
             txn_id=txn_id, kind=kind, key=key, site=self.site_id,
-            seq=len(self.ops),
+            seq=self._next_seq,
         )
+        self._next_seq += 1
         self.ops.append(op)
+        self.index.record(op)
         return op
 
     def read(self, txn_id: str, key: str) -> Operation:
@@ -77,6 +98,7 @@ class SiteHistory:
         if txn_id in self.committed:
             raise HistoryError(f"{txn_id} committed at {self.site_id}")
         self.ops = [op for op in self.ops if op.txn_id != txn_id]
+        self.index.forget(txn_id)
         self.aborted.discard(txn_id)
 
     # -- derived relations ----------------------------------------------------

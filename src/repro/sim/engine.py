@@ -21,6 +21,13 @@ from repro.sim.process import Process
 class Environment:
     """Execution environment for a single simulation run."""
 
+    #: whether the network should attach reorderable-delivery annotations
+    #: to arrival events.  Only the model checker's controlled scheduler
+    #: consumes them, so the plain kernel skips building the per-message
+    #: label strings entirely (they were the last unconditional payload
+    #: construction on the message hot path).
+    annotate_deliveries = False
+
     def __init__(self, initial_time: float = 0.0) -> None:
         self._now = float(initial_time)
         self._queue: list[tuple[float, int, int, Event]] = []

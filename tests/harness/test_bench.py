@@ -1,0 +1,163 @@
+"""The bench suite: pinned workloads, artifact shape, baseline gating.
+
+The real pinned sizes run via ``repro bench`` (CI and EXPERIMENTS.md);
+here every workload runs at toy size to keep tier-1 fast, and the CLI gate
+is exercised against a stubbed suite so its pass/regress/no-baseline paths
+are pinned without re-benchmarking.
+"""
+
+import json
+
+from repro.cli import main
+from repro.harness.bench import (
+    GATED_METRICS,
+    _percentile,
+    bench_check,
+    bench_sg,
+    bench_throughput,
+    compare_to_baseline,
+    to_json,
+)
+
+
+class TestPercentile:
+    def test_nearest_rank(self):
+        samples = [5.0, 1.0, 3.0]
+        assert _percentile(samples, 0) == 1.0
+        assert _percentile(samples, 50) == 3.0
+        assert _percentile(samples, 100) == 5.0
+
+    def test_single_sample(self):
+        assert _percentile([2.5], 95) == 2.5
+
+
+class TestWorkloads:
+    def test_bench_check_tiny(self):
+        metrics = bench_check(max_schedules=5, repeats=1)
+        assert metrics["schedules"] == 5.0
+        assert metrics["schedules_per_s"] > 0
+        assert metrics["p50_wall_s"] <= metrics["p95_wall_s"]
+
+    def test_bench_throughput_tiny(self):
+        metrics = bench_throughput(transactions=5, repeats=1)
+        assert metrics["transactions"] == 5.0
+        assert metrics["txns_per_s"] > 0
+
+    def test_bench_sg_tiny_cross_checks_scan(self):
+        # scan_cap >= size, so the index/scan equality assertion runs.
+        results = bench_sg(sizes=(200,), scan_cap=200)
+        metrics = results["ops_200"]
+        assert metrics["ops"] == 200.0
+        assert "speedup_vs_scan" in metrics
+        assert metrics["index_build_s"] > 0
+
+    def test_bench_sg_respects_scan_cap(self):
+        results = bench_sg(sizes=(300,), scan_cap=200)
+        assert "speedup_vs_scan" not in results["ops_300"]
+
+
+class TestBaselineGate:
+    CURRENT = {
+        "results": {
+            "check": {"schedules_per_s": 70.0, "p50_wall_s": 9.9},
+            "ops_1000": {"speedup_vs_scan": 12.0},
+        }
+    }
+
+    def test_within_tolerance_passes(self):
+        baseline = {
+            "results": {
+                "check": {"schedules_per_s": 80.0},
+                "ops_1000": {"speedup_vs_scan": 10.0},
+            }
+        }
+        assert compare_to_baseline(self.CURRENT, baseline, 0.25) == []
+
+    def test_regression_beyond_tolerance_reported(self):
+        baseline = {"results": {"check": {"schedules_per_s": 100.0}}}
+        lines = compare_to_baseline(self.CURRENT, baseline, 0.25)
+        assert len(lines) == 1
+        assert "check.schedules_per_s" in lines[0]
+
+    def test_wall_percentiles_never_gate(self):
+        # p50 regressed 100x, but percentiles are informational only.
+        baseline = {"results": {"check": {"p50_wall_s": 0.1}}}
+        assert compare_to_baseline(self.CURRENT, baseline, 0.25) == []
+
+    def test_missing_metric_skipped_until_baselined(self):
+        assert compare_to_baseline(self.CURRENT, {"results": {}}, 0.25) == []
+
+    def test_to_json_is_stable(self):
+        payload = {"b": 1, "a": {"y": 2, "x": 3}}
+        assert to_json(payload) == to_json(payload)
+        assert to_json(payload).endswith("\n")
+        assert json.loads(to_json(payload)) == payload
+
+
+def _stub_suite(values):
+    def run_suite(smoke=False, seed=0, jobs=1):
+        return {
+            "BENCH_check.json": {
+                "schema": 1, "smoke": smoke, "seed": seed,
+                "results": {"check": dict(values)},
+            },
+            "BENCH_sg.json": {
+                "schema": 1, "smoke": smoke, "seed": seed,
+                "results": {"ops_1000": {"speedup_vs_scan": 10.0}},
+            },
+        }
+    return run_suite
+
+
+class TestBenchCli:
+    def _bench(self, tmp_path, *extra):
+        return main([
+            "bench", "--out", str(tmp_path / "out"),
+            "--baseline", str(tmp_path / "baselines"), *extra,
+        ])
+
+    def test_update_baseline_then_pass(self, tmp_path, monkeypatch, capsys):
+        monkeypatch.setattr(
+            "repro.harness.bench.run_suite",
+            _stub_suite({"schedules_per_s": 100.0, "p50_wall_s": 0.5}),
+        )
+        assert self._bench(tmp_path, "--update-baseline") == 0
+        written = json.loads(
+            (tmp_path / "baselines" / "BENCH_check.json").read_text()
+        )
+        assert written["results"]["check"]["schedules_per_s"] == 100.0
+        assert (tmp_path / "out" / "BENCH_sg.json").exists()
+        assert self._bench(tmp_path) == 0
+        assert "within 25% of baseline" in capsys.readouterr().out
+
+    def test_regression_fails_the_gate(self, tmp_path, monkeypatch, capsys):
+        monkeypatch.setattr(
+            "repro.harness.bench.run_suite",
+            _stub_suite({"schedules_per_s": 100.0}),
+        )
+        assert self._bench(tmp_path, "--update-baseline") == 0
+        monkeypatch.setattr(
+            "repro.harness.bench.run_suite",
+            _stub_suite({"schedules_per_s": 50.0}),
+        )
+        assert self._bench(tmp_path) == 1
+        out = capsys.readouterr().out
+        assert "PERF REGRESSION" in out
+        assert "check.schedules_per_s" in out
+
+    def test_missing_baseline_skips_gate(self, tmp_path, monkeypatch,
+                                         capsys):
+        monkeypatch.setattr(
+            "repro.harness.bench.run_suite",
+            _stub_suite({"schedules_per_s": 100.0}),
+        )
+        assert self._bench(tmp_path) == 0
+        out = capsys.readouterr().out
+        assert "skipping gate" in out
+
+
+def test_gated_metrics_are_throughput_style():
+    # The gate compares higher-is-better metrics only; wall times would
+    # need the comparison inverted and are deliberately not listed.
+    for metric in GATED_METRICS:
+        assert not metric.endswith("_wall_s")

@@ -1,0 +1,79 @@
+"""Disabled observability is truly zero-cost on the message hot path.
+
+Two guards make a plain simulation pay nothing for instrumentation it is
+not using: delivery annotations (consumed only by the model checker's
+controlled scheduler) are built only when ``env.annotate_deliveries`` is
+set, and bus events are not even *constructed* while the bus is disabled.
+The construction tests prove the latter by replacing the event classes
+with booby-traps: if the guard ever moved after the constructor call,
+these fail.
+"""
+
+import pytest
+
+from repro.check.scheduler import ChoicePolicy, ControlledEnvironment
+from repro.net import Message, MsgType, Network
+from repro.sim import Environment, Rng
+
+
+def _send_one(env):
+    net = Network(env, rng=Rng(0))
+    net.register("S1")
+    net.register("S2")
+    net.send(Message(
+        msg_type=MsgType.VOTE_REQ, sender="S1", recipient="S2",
+        txn_id="T1", payload={},
+    ))
+    return net
+
+
+def _queued_events(env):
+    return [event for _when, _prio, _eid, event in env._queue]
+
+
+class TestDeliveryAnnotations:
+    def test_plain_environment_builds_no_annotation(self):
+        env = Environment()
+        _send_one(env)
+        events = _queued_events(env)
+        assert events  # the arrival timeout is scheduled ...
+        assert all(event.annotation is None for event in events)
+
+    def test_controlled_environment_annotates(self):
+        env = ControlledEnvironment(ChoicePolicy(()))
+        _send_one(env)
+        annotations = [
+            event.annotation
+            for event in _queued_events(env)
+            if event.annotation is not None
+        ]
+        assert annotations == [("net.deliver", "S2", "VOTE_REQ:S1->S2:T1")]
+
+
+class _Boom:
+    def __init__(self, *args, **kwargs):
+        raise AssertionError("event constructed while the bus is disabled")
+
+
+class TestDisabledBusConstruction:
+    def test_disabled_bus_never_constructs_events(self, monkeypatch):
+        monkeypatch.setattr("repro.net.network.MessageSent", _Boom)
+        monkeypatch.setattr("repro.net.network.MessageDelivered", _Boom)
+        env = Environment()  # bus disabled by default
+        net = _send_one(env)
+
+        def receiver(env):
+            yield net.receive("S2")
+
+        env.process(receiver(env))
+        env.run()
+        assert net.delivered[MsgType.VOTE_REQ] == 1
+
+    def test_enabled_bus_reaches_the_constructor(self, monkeypatch):
+        # Positive control: with the bus on, the same booby-trap fires,
+        # proving the disabled-path test actually guards construction.
+        monkeypatch.setattr("repro.net.network.MessageSent", _Boom)
+        env = Environment()
+        env.bus.enable()
+        with pytest.raises(AssertionError, match="while the bus is disabled"):
+            _send_one(env)
