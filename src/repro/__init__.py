@@ -63,6 +63,7 @@ __all__ = [
     "build_spans",
     "to_jsonl",
     # sub-packages
+    "analysis",
     "commit",
     "compensation",
     "core",

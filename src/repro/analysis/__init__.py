@@ -1,0 +1,59 @@
+"""Static analysis for the protocol kernel (``repro lint``).
+
+O2PC's correctness rests on facts that are checkable *before* any schedule
+runs, and this package checks them without executing anything:
+
+* **repertoire/compensation soundness** (:mod:`repro.analysis.repertoire`)
+  — inverse closure over the :class:`~repro.compensation.actions.ActionRegistry`,
+  Theorem 2 write-coverage per workload transaction, and Section 2's
+  real-action lock-holding requirement;
+* **commutativity** (:mod:`repro.analysis.commute`) — the declared/derived
+  commutes-with matrix and warnings for workloads that can violate the
+  A1–A4 stratification preconditions;
+* **determinism** (:mod:`repro.analysis.determinism`) — an AST lint
+  forbidding wall-clock, unseeded randomness, OS entropy, and bare-set
+  iteration in protocol code, protecting checker replay and parallel
+  report byte-identity;
+* **dispatch exhaustiveness** (:mod:`repro.analysis.dispatch`) — every
+  :class:`~repro.net.message.MsgType` has a receiving side.
+
+See ``docs/ANALYSIS.md`` for each rule with its paper anchor.
+"""
+
+from repro.analysis.commute import (
+    analyze_matrix,
+    analyze_workload_commutativity,
+    build_matrix,
+    ops_commute,
+)
+from repro.analysis.determinism import analyze_file, analyze_tree
+from repro.analysis.dispatch import analyze_dispatch
+from repro.analysis.findings import Finding, Severity, sort_findings
+from repro.analysis.repertoire import analyze_registry, analyze_workloads
+from repro.analysis.runner import (
+    LintReport,
+    default_root,
+    render_json,
+    render_text,
+    run_all,
+)
+
+__all__ = [
+    "Finding",
+    "LintReport",
+    "Severity",
+    "analyze_dispatch",
+    "analyze_file",
+    "analyze_matrix",
+    "analyze_registry",
+    "analyze_tree",
+    "analyze_workload_commutativity",
+    "analyze_workloads",
+    "build_matrix",
+    "default_root",
+    "ops_commute",
+    "render_json",
+    "render_text",
+    "run_all",
+    "sort_findings",
+]

@@ -1,0 +1,148 @@
+"""Family 2: the commutativity matrix and stratification preconditions.
+
+The stratification machinery (Section 5) guarantees no regular cycles when
+S1 or S2 holds over every *active* pair of global transactions, and the
+A1–A4 predicates those properties quantify over are about how a
+compensation ``CT_i`` may interleave with another global transaction at
+each shared site.  Two operations that **commute** on a data item can
+never put an active pair in the dangerous configuration: either order of
+the conflicting pair yields the same state, so exposure by an early lock
+release is harmless.
+
+The matrix is *declared* on the repertoire (``SemanticAction.commutes_with``,
+closed symmetrically here) and *derived* for the generic operations: reads
+commute with reads, blind writes commute with nothing.
+
+Rules:
+
+``commute/unknown-commute-ref``
+    A declared ``commutes_with`` entry names an unregistered action — the
+    matrix row is meaningless.
+
+``commute/stratification-risk``
+    Two workload transactions conflict **non-commutatively at two or more
+    shared sites**.  That is the static shape of the paper's danger case:
+    if either transaction aborts after locally committing, schedules exist
+    where its compensation and the other transaction order differently at
+    different sites, violating the A1–A4 preconditions of S1/S2 and
+    admitting a regular cycle.  Run such workloads under a marking
+    protocol (P1/P2), or restructure them onto commuting operations.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+
+from repro.analysis.findings import Finding, Severity
+from repro.compensation.actions import ActionRegistry
+from repro.txn.operations import Op, ReadOp, SemanticOp, WriteOp
+from repro.txn.transaction import GlobalTxnSpec, SubtxnSpec
+
+_A14 = "Section 5 (A1-A4 / S1-S2 preconditions)"
+
+
+def build_matrix(registry: ActionRegistry) -> dict[str, set[str]]:
+    """The symmetric closure of the declared commutes-with relation."""
+    matrix: dict[str, set[str]] = {
+        name: set() for name in registry.names()
+    }
+    for action in registry.actions():
+        for partner in action.commutes_with:
+            matrix[action.name].add(partner)
+            if partner in matrix:
+                matrix[partner].add(action.name)
+    return matrix
+
+
+def analyze_matrix(registry: ActionRegistry) -> list[Finding]:
+    """Validate the declared relation itself."""
+    findings: list[Finding] = []
+    for action in registry.actions():
+        for partner in sorted(action.commutes_with):
+            if not registry.known(partner):
+                findings.append(Finding(
+                    rule="commute/unknown-commute-ref",
+                    severity=Severity.ERROR,
+                    location=f"registry:{action.name}",
+                    message=(
+                        f"commutes_with of {action.name!r} names "
+                        f"unregistered action {partner!r}"
+                    ),
+                    anchor=_A14,
+                ))
+    return findings
+
+
+def ops_commute(matrix: dict[str, set[str]], a: Op, b: Op) -> bool:
+    """Do ``a`` and ``b`` commute on a shared data item?
+
+    Reads commute with reads; a blind write commutes with nothing (not
+    even another write — last-writer-wins is order-dependent); semantic
+    operations commute exactly when the declared matrix says so.  Unknown
+    action names are conservatively non-commuting.
+    """
+    if isinstance(a, ReadOp) and isinstance(b, ReadOp):
+        return True
+    if isinstance(a, ReadOp) or isinstance(b, ReadOp):
+        return False
+    if isinstance(a, WriteOp) or isinstance(b, WriteOp):
+        return False
+    assert isinstance(a, SemanticOp) and isinstance(b, SemanticOp)
+    return b.name in matrix.get(a.name, set())
+
+
+def _conflicting_pairs(
+    matrix: dict[str, set[str]], left: SubtxnSpec, right: SubtxnSpec
+) -> list[tuple[Op, Op]]:
+    """Non-commuting op pairs on shared keys between two subtransactions."""
+    pairs: list[tuple[Op, Op]] = []
+    for op_l in left.ops:
+        for op_r in right.ops:
+            if op_l.key != op_r.key:
+                continue
+            if not ops_commute(matrix, op_l, op_r):
+                pairs.append((op_l, op_r))
+    return pairs
+
+
+def analyze_workload_commutativity(
+    registry: ActionRegistry,
+    scenarios: dict[str, list[GlobalTxnSpec]],
+) -> list[Finding]:
+    """Warn on transaction pairs that can violate S1/S2 preconditions."""
+    matrix = build_matrix(registry)
+    findings: list[Finding] = []
+    for name in sorted(scenarios):
+        specs = scenarios[name]
+        for spec_a, spec_b in combinations(specs, 2):
+            subs_a = {sub.site_id: sub for sub in spec_a.subtxns}
+            subs_b = {sub.site_id: sub for sub in spec_b.subtxns}
+            shared = sorted(set(subs_a) & set(subs_b))
+            risky: list[str] = []
+            example = ""
+            for site_id in shared:
+                pairs = _conflicting_pairs(
+                    matrix, subs_a[site_id], subs_b[site_id]
+                )
+                if pairs:
+                    risky.append(site_id)
+                    if not example:
+                        op_a, op_b = pairs[0]
+                        example = f"e.g. {op_a!r} vs {op_b!r} at {site_id}"
+            if len(risky) >= 2:
+                findings.append(Finding(
+                    rule="commute/stratification-risk",
+                    severity=Severity.WARNING,
+                    location=(
+                        f"workload:{name}/{spec_a.txn_id}+{spec_b.txn_id}"
+                    ),
+                    message=(
+                        f"non-commuting conflicts at sites "
+                        f"{','.join(risky)} ({example}); an abort after "
+                        f"local commit admits schedules violating the "
+                        f"S1/S2 stratification preconditions — use a "
+                        f"marking protocol or commuting operations"
+                    ),
+                    anchor=_A14,
+                ))
+    return findings

@@ -1,0 +1,165 @@
+"""Family 4: handler exhaustiveness over the wire vocabulary.
+
+Every :class:`~repro.net.message.MsgType` must have a receiving side:
+either the participant's dispatch table (``Participant._HANDLERS``) or the
+coordinator's collect surface (``Coordinator._COLLECTS``).  Both are
+class-level literals that the runtime actually binds — the participant
+builds its handler map from ``_HANDLERS`` and the coordinator asserts every
+``_collect`` against ``_COLLECTS`` — so this check reads the single source
+of truth, statically.
+
+A message type outside both sets would be *silently dropped* by the
+participant's dispatch loop, which is exactly how a protocol extension
+(say, a termination-protocol inquiry round) rots: the sender compiles, the
+receiver ignores, and only a timeout-shaped symptom remains.
+
+Rules:
+
+``dispatch/missing-handler``
+    An enum member neither handled by the participant nor collected by the
+    coordinator.
+
+``dispatch/unknown-msg-type``
+    A dispatch declaration references an enum member that does not exist.
+
+``dispatch/duplicate-handler``
+    The same member appears twice in one declaration.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+
+from repro.analysis.findings import Finding, Severity
+from repro.analysis.source import parse_module
+from repro.errors import AnalysisError
+
+_ANCHOR = "Section 2 (2PC message vocabulary)"
+
+
+def _class_body(tree: ast.Module, class_name: str, path: Path) -> ast.ClassDef:
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ClassDef) and node.name == class_name:
+            return node
+    raise AnalysisError(f"class {class_name} not found in {path}")
+
+
+def enum_members(message_path: Path) -> list[tuple[str, int]]:
+    """``MsgType`` member names (with line numbers), read from the AST."""
+    tree = parse_module(message_path)
+    cls = _class_body(tree, "MsgType", message_path)
+    members: list[tuple[str, int]] = []
+    for stmt in cls.body:
+        if isinstance(stmt, ast.Assign):
+            for target in stmt.targets:
+                if isinstance(target, ast.Name):
+                    members.append((target.id, stmt.lineno))
+    return members
+
+
+def _msgtype_keys(nodes: list[ast.expr]) -> list[tuple[str, int]]:
+    """``MsgType.X`` attribute references among ``nodes``."""
+    keys: list[tuple[str, int]] = []
+    for node in nodes:
+        if (
+            isinstance(node, ast.Attribute)
+            and isinstance(node.value, ast.Name)
+            and node.value.id == "MsgType"
+        ):
+            keys.append((node.attr, node.lineno))
+    return keys
+
+
+def _declaration(
+    path: Path, class_name: str, attr_name: str
+) -> list[tuple[str, int]]:
+    """The ``MsgType`` members declared in a class-level dict/tuple literal."""
+    tree = parse_module(path)
+    cls = _class_body(tree, class_name, path)
+    for stmt in cls.body:
+        value: ast.expr | None = None
+        if isinstance(stmt, ast.AnnAssign):
+            if (
+                isinstance(stmt.target, ast.Name)
+                and stmt.target.id == attr_name
+            ):
+                value = stmt.value
+        elif isinstance(stmt, ast.Assign):
+            if any(
+                isinstance(t, ast.Name) and t.id == attr_name
+                for t in stmt.targets
+            ):
+                value = stmt.value
+        if value is None:
+            continue
+        if isinstance(value, ast.Dict):
+            return _msgtype_keys([k for k in value.keys if k is not None])
+        if isinstance(value, (ast.Tuple, ast.List)):
+            return _msgtype_keys(list(value.elts))
+        raise AnalysisError(
+            f"{class_name}.{attr_name} in {path} is not a literal "
+            f"dict/tuple"
+        )
+    raise AnalysisError(
+        f"{class_name}.{attr_name} declaration not found in {path}"
+    )
+
+
+def analyze_dispatch(
+    message_path: Path,
+    coordinator_path: Path,
+    participant_path: Path,
+) -> list[Finding]:
+    """Exhaustiveness of the coordinator + participant receive surfaces."""
+    members = enum_members(message_path)
+    member_names = {name for name, _ in members}
+    handled = _declaration(participant_path, "Participant", "_HANDLERS")
+    collected = _declaration(coordinator_path, "Coordinator", "_COLLECTS")
+
+    findings: list[Finding] = []
+    for declared, source_path in (
+        (handled, participant_path),
+        (collected, coordinator_path),
+    ):
+        seen: set[str] = set()
+        for name, lineno in declared:
+            location = f"{source_path.name}:{lineno}"
+            if name not in member_names:
+                findings.append(Finding(
+                    rule="dispatch/unknown-msg-type",
+                    severity=Severity.ERROR,
+                    location=location,
+                    message=(
+                        f"declaration references MsgType.{name}, which is "
+                        f"not an enum member"
+                    ),
+                    anchor=_ANCHOR,
+                ))
+            if name in seen:
+                findings.append(Finding(
+                    rule="dispatch/duplicate-handler",
+                    severity=Severity.ERROR,
+                    location=location,
+                    message=f"MsgType.{name} is declared twice",
+                    anchor=_ANCHOR,
+                ))
+            seen.add(name)
+
+    receivable = {name for name, _ in handled} | {
+        name for name, _ in collected
+    }
+    for name, lineno in members:
+        if name not in receivable:
+            findings.append(Finding(
+                rule="dispatch/missing-handler",
+                severity=Severity.ERROR,
+                location=f"{message_path.name}:{lineno}",
+                message=(
+                    f"MsgType.{name} has no participant handler and no "
+                    f"coordinator collect — a message of this type would "
+                    f"be silently dropped"
+                ),
+                anchor=_ANCHOR,
+            ))
+    return findings

@@ -1,0 +1,54 @@
+"""The finding model shared by every ``repro lint`` analyzer.
+
+A :class:`Finding` is one rule violation: a stable rule identifier
+(``family/rule-name``), a severity, a location pointer (source ``file:line``
+or a logical ``registry:action`` / ``workload:...`` path), a human message,
+and the paper anchor the rule reproduces (Theorem 2, Section 2, A1–A4, ...).
+
+Findings are plain data — analyzers return lists of them, the runner sorts
+and renders them — so the same results drive the human output, ``--json``,
+and the tests that assert a seeded violation is caught.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Iterable
+
+
+class Severity(enum.Enum):
+    """How a finding gates: both levels fail the lint, the label differs."""
+
+    ERROR = "error"
+    WARNING = "warning"
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation discovered statically."""
+
+    #: stable rule id, ``family/rule-name`` (e.g. ``repertoire/uncovered-write``)
+    rule: str
+    severity: Severity
+    #: ``path:line`` for source findings; ``registry:<action>`` or
+    #: ``workload:<name>/<txn>@<site>`` for declaration findings
+    location: str
+    message: str
+    #: where in the paper the violated fact comes from
+    anchor: str = ""
+
+    def render(self) -> str:
+        """One human-readable line."""
+        tail = f"  [{self.anchor}]" if self.anchor else ""
+        return (
+            f"{self.severity.value.upper():7} {self.rule}  {self.location}\n"
+            f"        {self.message}{tail}"
+        )
+
+
+def sort_findings(findings: Iterable[Finding]) -> list[Finding]:
+    """Deterministic report order: by rule, then location, then message."""
+    return sorted(
+        findings, key=lambda f: (f.rule, f.location, f.message)
+    )

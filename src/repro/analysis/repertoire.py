@@ -1,0 +1,264 @@
+"""Family 1: repertoire and compensation soundness.
+
+Everything here is derivable from the :class:`ActionRegistry` declarations
+and the declarative :class:`SemanticOp` workloads — no schedule is run and
+no state is touched.  The rules and their paper anchors:
+
+``repertoire/inconsistent-inverse``
+    An action declares ``inverse_name`` without an ``inverse`` constructor
+    (or vice versa) — the declarative and executable halves disagree.
+
+``repertoire/unknown-inverse``
+    A declared inverse names an action that is not registered: the
+    compensating subtransaction ``CT_i`` could never be built (Section 3.2,
+    the counter-task must be supplied in advance).
+
+``repertoire/open-inverse-chain``
+    Following declared inverses transitively escapes the registry.  The
+    direct link is checked by ``unknown-inverse``; this rule catches a
+    broken link further down the chain (the inverse's inverse, ...).
+
+``repertoire/uncovered-write``
+    Theorem 2's write-coverage precondition: atomicity of compensation
+    requires ``CT_i`` to write a superset of ``T_i``'s writes at the site.
+    The compensation key-set is derived declaratively — semantic inverses
+    target the key of their forward operation, generic writes compensate by
+    before-image — and any forward write key it misses is flagged.
+
+``repertoire/real-action-unlocked``
+    A subtransaction contains a real (``inverse=None``) action but is not
+    declared ``real_action`` (lock-holding).  Section 2: non-compensatable
+    subtransactions must hold their locks until the decision, as in
+    distributed 2PL; executing one optimistically could never be undone.
+
+``repertoire/unknown-action``
+    A workload operation names an action outside the repertoire.
+
+``repertoire/inverse-constructor-error``
+    The inverse constructor crashes on the operation's declared parameters
+    — compensation would fail at the worst possible time (after the global
+    ABORT, when persistence of compensation demands it complete).
+
+``repertoire/inverse-name-mismatch``
+    The constructor, probed with the workload's declared parameters,
+    produces a different action than the declared ``inverse_name``.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.analysis.findings import Finding, Severity
+from repro.compensation.actions import ActionRegistry, SemanticAction
+from repro.txn.operations import ReadOp, SemanticOp, WriteOp
+from repro.txn.transaction import GlobalTxnSpec
+
+#: Theorem 2 anchor string used by the coverage rules
+_T2 = "Theorem 2 (atomicity of compensation)"
+_S2 = "Section 2 (real actions hold locks)"
+_S32 = "Section 3.2 (predeclared counter-task)"
+
+
+def analyze_registry(registry: ActionRegistry) -> list[Finding]:
+    """Inverse-closure checks over the registry declarations alone."""
+    findings: list[Finding] = []
+    for action in registry.actions():
+        location = f"registry:{action.name}"
+        has_fn = action.inverse is not None
+        has_name = action.inverse_name is not None
+        if has_fn != has_name:
+            findings.append(Finding(
+                rule="repertoire/inconsistent-inverse",
+                severity=Severity.ERROR,
+                location=location,
+                message=(
+                    f"action {action.name!r} declares "
+                    f"inverse_name={action.inverse_name!r} but "
+                    f"{'has' if has_fn else 'lacks'} an inverse constructor"
+                ),
+                anchor=_S32,
+            ))
+            continue
+        if action.inverse_name is None:
+            continue
+        if not registry.known(action.inverse_name):
+            findings.append(Finding(
+                rule="repertoire/unknown-inverse",
+                severity=Severity.ERROR,
+                location=location,
+                message=(
+                    f"inverse of {action.name!r} is "
+                    f"{action.inverse_name!r}, which is not registered"
+                ),
+                anchor=_S32,
+            ))
+            continue
+        findings.extend(_walk_chain(registry, action))
+    return findings
+
+
+def _walk_chain(
+    registry: ActionRegistry, action: SemanticAction
+) -> list[Finding]:
+    """Follow declared inverses from ``action``; flag a transitive escape."""
+    seen = {action.name}
+    current = action.inverse_name
+    chain = [action.name]
+    while current is not None:
+        chain.append(current)
+        if not registry.known(current):
+            return [Finding(
+                rule="repertoire/open-inverse-chain",
+                severity=Severity.ERROR,
+                location=f"registry:{action.name}",
+                message=(
+                    f"inverse chain {' -> '.join(chain)} leaves the "
+                    f"registry at {current!r}"
+                ),
+                anchor=_S32,
+            )]
+        if current in seen:
+            return []  # closed cycle (deposit <-> withdraw): sound
+        seen.add(current)
+        current = registry.get(current).inverse_name
+    return []  # chain ends at a real action: nothing further to build
+
+
+def _probe_inverse(
+    action: SemanticAction, op: SemanticOp
+) -> tuple[str, dict[str, Any]] | Exception:
+    """Run the inverse *constructor* (never ``apply``) on declared params.
+
+    The before-value is unknowable statically; constructors may embed it in
+    the compensating call's params but must not compute on it, so probing
+    with a neutral ``0`` and then ``None`` covers well-behaved inverses.
+    """
+    assert action.inverse is not None
+    last: Exception
+    for before in (0, None):
+        try:
+            return action.inverse(dict(op.params), before)
+        except Exception as exc:  # noqa: BLE001 - any crash is the finding
+            last = exc
+    return last
+
+
+def analyze_workloads(
+    registry: ActionRegistry,
+    scenarios: dict[str, list[GlobalTxnSpec]],
+) -> list[Finding]:
+    """Per-transaction checks over declarative workloads."""
+    findings: list[Finding] = []
+    for name in sorted(scenarios):
+        for spec in scenarios[name]:
+            for sub in spec.subtxns:
+                location = f"workload:{name}/{spec.txn_id}@{sub.site_id}"
+                findings.extend(
+                    _analyze_subtxn(registry, location, sub.ops,
+                                    lock_holding=sub.real_action)
+                )
+    return findings
+
+
+def _analyze_subtxn(
+    registry: ActionRegistry,
+    location: str,
+    ops: list[Any],
+    *,
+    lock_holding: bool,
+) -> list[Finding]:
+    findings: list[Finding] = []
+    forward_writes: set[str] = set()
+    compensation_keys: set[str] = set()
+    for op in ops:
+        if isinstance(op, ReadOp):
+            continue
+        if isinstance(op, WriteOp):
+            # generic model: compensated by installing the before-image
+            forward_writes.add(op.key)
+            compensation_keys.add(op.key)
+            continue
+        assert isinstance(op, SemanticOp)
+        forward_writes.add(op.key)
+        if not registry.known(op.name):
+            findings.append(Finding(
+                rule="repertoire/unknown-action",
+                severity=Severity.ERROR,
+                location=location,
+                message=f"operation {op!r} names an unregistered action",
+                anchor=_S32,
+            ))
+            continue
+        action = registry.get(op.name)
+        if action.inverse is None:
+            if not lock_holding:
+                findings.append(Finding(
+                    rule="repertoire/real-action-unlocked",
+                    severity=Severity.ERROR,
+                    location=location,
+                    message=(
+                        f"{op!r} is a real action but the subtransaction "
+                        f"is not declared real_action (lock-holding)"
+                    ),
+                    anchor=_S2,
+                ))
+            continue
+        if lock_holding:
+            # locks held until the decision: rollback, not compensation
+            compensation_keys.add(op.key)
+            continue
+        probed = _probe_inverse(action, op)
+        if isinstance(probed, Exception):
+            findings.append(Finding(
+                rule="repertoire/inverse-constructor-error",
+                severity=Severity.ERROR,
+                location=location,
+                message=(
+                    f"inverse constructor of {op!r} failed on its declared "
+                    f"params: {probed!r}"
+                ),
+                anchor=_T2,
+            ))
+            continue
+        inv_name, _inv_params = probed
+        if action.inverse_name is not None and inv_name != action.inverse_name:
+            findings.append(Finding(
+                rule="repertoire/inverse-name-mismatch",
+                severity=Severity.ERROR,
+                location=location,
+                message=(
+                    f"{op!r}: constructor produced {inv_name!r} but the "
+                    f"action declares inverse_name={action.inverse_name!r}"
+                ),
+                anchor=_S32,
+            ))
+        if not registry.known(inv_name):
+            findings.append(Finding(
+                rule="repertoire/unknown-inverse",
+                severity=Severity.ERROR,
+                location=location,
+                message=(
+                    f"{op!r}: constructed inverse {inv_name!r} is not "
+                    f"registered"
+                ),
+                anchor=_S32,
+            ))
+            continue
+        # ActionRegistry.invert pins the compensating op to the forward key,
+        # so a sound semantic inverse covers exactly its forward write.
+        compensation_keys.add(op.key)
+    if not lock_holding:
+        uncovered = forward_writes - compensation_keys
+        if uncovered:
+            findings.append(Finding(
+                rule="repertoire/uncovered-write",
+                severity=Severity.ERROR,
+                location=location,
+                message=(
+                    f"compensation write-set misses forward write keys "
+                    f"{sorted(uncovered)}; CT must write a superset of the "
+                    f"forward writes"
+                ),
+                anchor=_T2,
+            ))
+    return findings

@@ -20,7 +20,11 @@ Commands:
   preset; ``--jobs N`` shards the search with an identical report);
 * ``bench`` — the pinned performance workloads: checker schedules/s,
   simulator txns/s, and SG-build times, written as ``BENCH_*.json`` and
-  gated against the committed baselines in ``benchmarks/baselines/``.
+  gated against the committed baselines in ``benchmarks/baselines/``;
+* ``lint`` — the static compensation-soundness and determinism analyzers:
+  repertoire inverse closure, Theorem 2 write coverage, commutativity /
+  stratification preconditions, the determinism lint over the sources, and
+  dispatch exhaustiveness — zero schedules executed, exit 1 on findings.
 
 Everything is deterministic for a given ``--seed``.
 """
@@ -485,6 +489,29 @@ def cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_lint(args: argparse.Namespace) -> int:
+    """Run the static analyzers; exit 1 when any rule fires.
+
+    Four families (see ``docs/ANALYSIS.md``): repertoire/compensation
+    soundness (inverse closure, Theorem 2 write coverage, Section 2 real
+    actions), the commutativity matrix against the A1–A4 stratification
+    preconditions, the determinism lint over ``src/repro``, and
+    coordinator/participant dispatch exhaustiveness.  Nothing is executed:
+    no schedules, no simulation, no state.
+    """
+    from pathlib import Path
+
+    from repro.analysis import render_json, render_text, run_all
+
+    root = Path(args.root) if args.root else None
+    report = run_all(root)
+    if args.json:
+        sys.stdout.write(render_json(report))
+    else:
+        print(render_text(report))
+    return 0 if report.ok else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The repro CLI argument parser."""
     parser = argparse.ArgumentParser(
@@ -609,6 +636,17 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--jobs", type=int, default=1,
                        help="worker processes for the check workload")
     bench.set_defaults(fn=cmd_bench)
+
+    lint = sub.add_parser(
+        "lint",
+        help="static compensation-soundness + determinism analyzers",
+    )
+    lint.add_argument("--json", action="store_true",
+                      help="machine-readable report (stable key order)")
+    lint.add_argument("--root", default=None,
+                      help="source tree to scan instead of the installed "
+                           "package (AST families only)")
+    lint.set_defaults(fn=cmd_lint)
     return parser
 
 

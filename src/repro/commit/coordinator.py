@@ -45,6 +45,17 @@ from repro.txn.transaction import GlobalTxnSpec, TxnOutcome
 class Coordinator:
     """Coordinator for one global transaction."""
 
+    #: the coordinator's receive surface: every message type it collects
+    #: from its inbox.  A class-level literal so ``repro lint`` can verify
+    #: handler exhaustiveness statically (every :class:`MsgType` must be
+    #: collected here or handled by the participant); ``_collect`` asserts
+    #: against it so the declaration cannot drift from the code.
+    _COLLECTS: tuple[MsgType, ...] = (
+        MsgType.SUBTXN_ACK,
+        MsgType.VOTE,
+        MsgType.ACK,
+    )
+
     def __init__(
         self,
         env: Environment,
@@ -303,6 +314,9 @@ class Coordinator:
         Messages of other types for this coordinator (stale ACKs, late
         votes) are discarded.  Returns None on timeout.
         """
+        assert msg_type in self._COLLECTS, (
+            f"{msg_type} missing from Coordinator._COLLECTS"
+        )
         deadline = self.env.timeout(timeout)
         while True:
             get = self.inbox.get()

@@ -11,6 +11,7 @@
 """
 
 from repro.compensation.actions import (
+    ADDITIVE_ACTIONS,
     ActionRegistry,
     SemanticAction,
     standard_registry,
@@ -18,6 +19,7 @@ from repro.compensation.actions import (
 from repro.compensation.executor import CompensationExecutor
 
 __all__ = [
+    "ADDITIVE_ACTIONS",
     "ActionRegistry",
     "CompensationExecutor",
     "SemanticAction",

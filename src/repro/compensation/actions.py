@@ -23,7 +23,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Callable
 
-from repro.errors import NotCompensatable
+from repro.errors import NotCompensatable, UnknownAction
 from repro.txn.operations import SemanticOp
 
 #: forward application: (current value, **params) -> new value
@@ -34,12 +34,31 @@ InverseFn = Callable[[dict[str, Any], Any], tuple[str, dict[str, Any]]]
 
 @dataclass(frozen=True)
 class SemanticAction:
-    """One entry in a site's operation repertoire."""
+    """One entry in a site's operation repertoire.
+
+    Beyond the executable ``apply``/``inverse`` pair, an action carries
+    *declarative* metadata that the static analyzer (``repro lint``)
+    consumes without executing anything:
+
+    * ``inverse_name`` — the repertoire name the ``inverse`` constructor
+      produces.  The analyzer checks the declared name is registered, that
+      inverse chains stay inside the registry, and (when a workload
+      supplies concrete params) that the constructor really produces it.
+    * ``commutes_with`` — names of repertoire actions this action commutes
+      with on the same data item (include the action itself when it
+      self-commutes).  The analyzer takes the symmetric closure and uses
+      the matrix to warn about workloads that can violate the A1–A4
+      stratification preconditions (Section 5).
+    """
 
     name: str
     apply: ApplyFn
     #: None marks a real (non-compensatable) action
     inverse: InverseFn | None = None
+    #: declared name of the action ``inverse`` constructs (None iff real)
+    inverse_name: str | None = None
+    #: declared commutativity on the same key (symmetric closure is taken)
+    commutes_with: frozenset[str] = frozenset()
 
     @property
     def compensatable(self) -> bool:
@@ -58,15 +77,28 @@ class ActionRegistry:
         self._actions[action.name] = action
 
     def get(self, name: str) -> SemanticAction:
-        """Look up an action by name."""
+        """Look up an action by name.
+
+        Raises :class:`~repro.errors.UnknownAction` (a
+        :class:`NotCompensatable` subclass) for unregistered names — an
+        unknown name is a specification bug, not a real action.
+        """
         try:
             return self._actions[name]
         except KeyError:
-            raise NotCompensatable(name) from None
+            raise UnknownAction(name) from None
 
     def known(self, name: str) -> bool:
         """True if ``name`` is registered."""
         return name in self._actions
+
+    def names(self) -> list[str]:
+        """All registered action names, sorted (deterministic iteration)."""
+        return sorted(self._actions)
+
+    def actions(self) -> list[SemanticAction]:
+        """All registered actions in name order (deterministic iteration)."""
+        return [self._actions[name] for name in self.names()]
 
     def apply(self, op: SemanticOp, current: Any) -> Any:
         """Apply ``op`` to the current value, returning the new value."""
@@ -86,6 +118,14 @@ class ActionRegistry:
     def is_compensatable(self, op: SemanticOp) -> bool:
         """True when ``op``'s action has a registered inverse."""
         return self.known(op.name) and self.get(op.name).compensatable
+
+
+#: the standard repertoire's additive group: each of these adds or subtracts
+#: a delta, so any pair (including an action with itself) commutes on a key
+ADDITIVE_ACTIONS = frozenset({
+    "cancel", "decrement", "deposit", "dispense", "increment", "reserve",
+    "withdraw",
+})
 
 
 def standard_registry() -> ActionRegistry:
@@ -113,36 +153,47 @@ def standard_registry() -> ActionRegistry:
         name="deposit",
         apply=lambda current, amount: (current or 0) + amount,
         inverse=lambda params, before: ("withdraw", {"amount": params["amount"]}),
+        inverse_name="withdraw",
+        commutes_with=ADDITIVE_ACTIONS,
     ))
     registry.register(SemanticAction(
         name="withdraw",
         apply=lambda current, amount: (current or 0) - amount,
         inverse=lambda params, before: ("deposit", {"amount": params["amount"]}),
+        inverse_name="deposit",
+        commutes_with=ADDITIVE_ACTIONS,
     ))
     registry.register(SemanticAction(
         name="increment",
         apply=lambda current: (current or 0) + 1,
         inverse=lambda params, before: ("decrement", {}),
+        inverse_name="decrement",
+        commutes_with=ADDITIVE_ACTIONS,
     ))
     registry.register(SemanticAction(
         name="decrement",
         apply=lambda current: (current or 0) - 1,
         inverse=lambda params, before: ("increment", {}),
+        inverse_name="increment",
+        commutes_with=ADDITIVE_ACTIONS,
     ))
     registry.register(SemanticAction(
         name="insert",
         apply=lambda current, value: value,
         inverse=lambda params, before: ("delete", {}),
+        inverse_name="delete",
     ))
     registry.register(SemanticAction(
         name="delete",
         apply=lambda current: None,
         inverse=lambda params, before: ("insert", {"value": before}),
+        inverse_name="insert",
     ))
     registry.register(SemanticAction(
         name="set",
         apply=lambda current, value: value,
         inverse=lambda params, before: ("set", {"value": before}),
+        inverse_name="set",
     ))
     registry.register(SemanticAction(
         name="reserve",
@@ -150,6 +201,8 @@ def standard_registry() -> ActionRegistry:
         inverse=lambda params, before: (
             "cancel", {"count": params.get("count", 1)}
         ),
+        inverse_name="cancel",
+        commutes_with=ADDITIVE_ACTIONS,
     ))
     registry.register(SemanticAction(
         name="cancel",
@@ -157,10 +210,13 @@ def standard_registry() -> ActionRegistry:
         inverse=lambda params, before: (
             "reserve", {"count": params.get("count", 1)}
         ),
+        inverse_name="reserve",
+        commutes_with=ADDITIVE_ACTIONS,
     ))
     registry.register(SemanticAction(
         name="dispense",
         apply=lambda current, amount: (current or 0) - amount,
         inverse=None,  # cash left the machine: a real action
+        commutes_with=ADDITIVE_ACTIONS,
     ))
     return registry

@@ -175,9 +175,26 @@ class CompensationError(ReproError):
 class NotCompensatable(CompensationError):
     """No compensation action is registered for an operation (real action)."""
 
-    def __init__(self, op_name: str) -> None:
-        super().__init__(f"operation {op_name!r} is not compensatable")
+    def __init__(self, op_name: str, message: str | None = None) -> None:
+        super().__init__(
+            message or f"operation {op_name!r} is not compensatable"
+        )
         self.op_name = op_name
+
+
+class UnknownAction(NotCompensatable):
+    """An operation named an action that is not registered at all.
+
+    An unknown name is a *specification* bug, distinct from a registered
+    real action (``inverse=None``) that is legitimately non-compensatable.
+    Kept as a :class:`NotCompensatable` subclass so existing callers that
+    catch the broader error keep working.
+    """
+
+    def __init__(self, op_name: str) -> None:
+        super().__init__(
+            op_name, f"unknown action {op_name!r}: not in the repertoire"
+        )
 
 
 class PersistenceViolation(CompensationError):
@@ -227,6 +244,21 @@ class ScheduleDivergence(CheckError):
     prefix must reproduce the same candidate sets.  Divergence means
     nondeterminism leaked into the simulation (wall clock, unseeded RNG,
     iteration over an unordered container).
+    """
+
+
+# ---------------------------------------------------------------------------
+# Static analysis (repro lint)
+# ---------------------------------------------------------------------------
+
+
+class AnalysisError(ReproError):
+    """A static analyzer could not run at all (distinct from a finding).
+
+    Raised when an analyzer's *inputs* are broken — a source file that does
+    not parse, or a dispatch declaration that cannot be located — rather
+    than when the analyzed code violates a rule.  Findings are data;
+    ``AnalysisError`` is a crash.
     """
 
 

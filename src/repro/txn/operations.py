@@ -49,8 +49,17 @@ class SemanticOp:
     key: str
     params: dict[str, Any] = field(default_factory=dict)
 
-    def __hash__(self) -> int:  # params dict is unhashable; hash identity
-        return hash((self.name, self.key, tuple(sorted(self.params.items()))))
+    def __hash__(self) -> int:
+        # The params dict is unhashable, and its *values* may be too (an
+        # ``insert`` can carry a list or dict payload).  Hash a repr-stable
+        # key instead: sort by parameter name and take each value's repr.
+        # Equal ops (dataclass __eq__ compares params by value) have equal
+        # item reprs, so the hash/eq contract holds.
+        return hash((
+            self.name,
+            self.key,
+            tuple(sorted((k, repr(v)) for k, v in self.params.items())),
+        ))
 
     def __repr__(self) -> str:
         args = ", ".join(f"{k}={v!r}" for k, v in sorted(self.params.items()))

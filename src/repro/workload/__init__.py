@@ -12,6 +12,7 @@ from repro.workload.generator import WorkloadConfig, WorkloadGenerator
 from repro.workload.scenarios import (
     banking_transfers,
     inventory_orders,
+    standard_scenarios,
     travel_reservations,
 )
 
@@ -20,5 +21,6 @@ __all__ = [
     "WorkloadGenerator",
     "banking_transfers",
     "inventory_orders",
+    "standard_scenarios",
     "travel_reservations",
 ]

@@ -21,6 +21,24 @@ from repro.txn.operations import SemanticOp
 from repro.txn.transaction import GlobalTxnSpec, SubtxnSpec, VotePolicy
 
 
+def standard_scenarios(
+    site_ids: list[str] | None = None,
+) -> dict[str, list[GlobalTxnSpec]]:
+    """Every declarative domain workload, keyed by name.
+
+    The default builds of the three scenario families against a canonical
+    three-site system — the input set ``repro lint`` analyzes statically
+    (repertoire soundness, Theorem 2 write coverage, commutativity), and a
+    convenient way to iterate all of them in tests and experiments.
+    """
+    sites = site_ids if site_ids is not None else ["S1", "S2", "S3"]
+    return {
+        "banking": banking_transfers(sites),
+        "travel": travel_reservations(sites),
+        "inventory": inventory_orders(sites),
+    }
+
+
 def banking_transfers(
     site_ids: list[str],
     n_transfers: int = 20,

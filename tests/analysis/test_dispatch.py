@@ -1,0 +1,98 @@
+"""Family 4: handler exhaustiveness over the MsgType vocabulary."""
+
+import shutil
+
+import pytest
+
+from repro.analysis import analyze_dispatch, default_root
+from repro.errors import AnalysisError
+from repro.net.message import MsgType
+
+
+def repo_paths():
+    root = default_root()
+    return (
+        root / "net" / "message.py",
+        root / "commit" / "coordinator.py",
+        root / "commit" / "participant.py",
+    )
+
+
+def copied_paths(tmp_path):
+    out = []
+    for src in repo_paths():
+        dst = tmp_path / src.name
+        shutil.copy(src, dst)
+        out.append(dst)
+    return out
+
+
+def test_shipped_dispatch_is_exhaustive():
+    assert analyze_dispatch(*repo_paths()) == []
+
+
+def test_declarations_match_runtime_enum():
+    # The AST-read enum members must be the real ones, or the whole
+    # analysis is checking a phantom vocabulary.
+    from repro.analysis.dispatch import enum_members
+
+    names = {name for name, _ in enum_members(repo_paths()[0])}
+    assert names == {m.name for m in MsgType}
+
+
+def test_missing_participant_handler_is_flagged(tmp_path):
+    message, coordinator, participant = copied_paths(tmp_path)
+    text = participant.read_text()
+    doctored = text.replace(
+        'MsgType.DECISION: "_handle_decision",\n', ""
+    )
+    assert doctored != text
+    participant.write_text(doctored)
+    findings = analyze_dispatch(message, coordinator, participant)
+    assert [f.rule for f in findings] == ["dispatch/missing-handler"]
+    finding = findings[0]
+    assert "MsgType.DECISION" in finding.message
+    assert finding.location.startswith("message.py:")
+
+
+def test_new_msg_type_without_handler_is_flagged(tmp_path):
+    message, coordinator, participant = copied_paths(tmp_path)
+    text = message.read_text()
+    doctored = text.replace(
+        'ACK = "ACK"', 'ACK = "ACK"\n    INQUIRE = "INQUIRE"'
+    )
+    assert doctored != text
+    message.write_text(doctored)
+    findings = analyze_dispatch(message, coordinator, participant)
+    assert [f.rule for f in findings] == ["dispatch/missing-handler"]
+    assert "MsgType.INQUIRE" in findings[0].message
+
+
+def test_unknown_msg_type_in_declaration(tmp_path):
+    message, coordinator, participant = copied_paths(tmp_path)
+    text = coordinator.read_text()
+    doctored = text.replace("MsgType.ACK,", "MsgType.ACK,\n        MsgType.NACK,")
+    assert doctored != text
+    coordinator.write_text(doctored)
+    findings = analyze_dispatch(message, coordinator, participant)
+    assert [f.rule for f in findings] == ["dispatch/unknown-msg-type"]
+    assert "MsgType.NACK" in findings[0].message
+
+
+def test_duplicate_declaration_is_flagged(tmp_path):
+    message, coordinator, participant = copied_paths(tmp_path)
+    text = coordinator.read_text()
+    doctored = text.replace("MsgType.ACK,", "MsgType.ACK,\n        MsgType.ACK,")
+    assert doctored != text
+    coordinator.write_text(doctored)
+    findings = analyze_dispatch(message, coordinator, participant)
+    assert [f.rule for f in findings] == ["dispatch/duplicate-handler"]
+
+
+def test_missing_declaration_is_an_analysis_error(tmp_path):
+    message, coordinator, participant = copied_paths(tmp_path)
+    text = participant.read_text()
+    doctored = text.replace("_HANDLERS", "_RENAMED")
+    participant.write_text(doctored)
+    with pytest.raises(AnalysisError):
+        analyze_dispatch(message, coordinator, participant)

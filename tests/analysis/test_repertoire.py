@@ -1,0 +1,194 @@
+"""Family 1: repertoire/compensation soundness (inverse closure, Theorem 2
+write coverage, Section 2 real-action reachability)."""
+
+import pytest
+
+from repro.analysis import analyze_registry, analyze_workloads
+from repro.analysis.findings import Severity
+from repro.compensation import (
+    ActionRegistry,
+    SemanticAction,
+    standard_registry,
+)
+from repro.txn import GlobalTxnSpec, ReadOp, SemanticOp, SubtxnSpec, WriteOp
+from repro.workload import standard_scenarios
+
+
+def rules_of(findings):
+    return [f.rule for f in findings]
+
+
+class TestRegistryClosure:
+    def test_standard_registry_is_clean(self):
+        assert analyze_registry(standard_registry()) == []
+
+    def test_missing_inverse_is_flagged_with_action_pointer(self):
+        registry = ActionRegistry()
+        registry.register(SemanticAction(
+            name="launch",
+            apply=lambda current: current,
+            inverse=lambda params, before: ("recall", {}),
+            inverse_name="recall",  # never registered
+        ))
+        findings = analyze_registry(registry)
+        assert rules_of(findings) == ["repertoire/unknown-inverse"]
+        assert findings[0].location == "registry:launch"
+        assert "recall" in findings[0].message
+        assert findings[0].severity is Severity.ERROR
+
+    def test_deleted_inverse_declaration_is_inconsistent(self):
+        registry = ActionRegistry()
+        registry.register(SemanticAction(
+            name="deposit",
+            apply=lambda current, amount: (current or 0) + amount,
+            inverse=lambda params, before: (
+                "withdraw", {"amount": params["amount"]}
+            ),
+            inverse_name=None,  # constructor present, declaration deleted
+        ))
+        findings = analyze_registry(registry)
+        assert rules_of(findings) == ["repertoire/inconsistent-inverse"]
+
+    def test_open_chain_two_hops_out(self):
+        registry = ActionRegistry()
+        registry.register(SemanticAction(
+            name="a", apply=lambda c: c,
+            inverse=lambda p, b: ("b", {}), inverse_name="b",
+        ))
+        registry.register(SemanticAction(
+            name="b", apply=lambda c: c,
+            inverse=lambda p, b: ("ghost", {}), inverse_name="ghost",
+        ))
+        findings = analyze_registry(registry)
+        # a's chain breaks transitively at ghost; b's directly.
+        assert sorted(rules_of(findings)) == [
+            "repertoire/open-inverse-chain",
+            "repertoire/unknown-inverse",
+        ]
+        by_rule = {f.rule: f for f in findings}
+        assert by_rule["repertoire/open-inverse-chain"].location == "registry:a"
+        assert "a -> b -> ghost" in by_rule["repertoire/open-inverse-chain"].message
+
+    def test_closed_two_cycle_is_sound(self):
+        registry = ActionRegistry()
+        registry.register(SemanticAction(
+            name="double", apply=lambda c: c * 2,
+            inverse=lambda p, b: ("halve", {}), inverse_name="halve",
+        ))
+        registry.register(SemanticAction(
+            name="halve", apply=lambda c: c // 2,
+            inverse=lambda p, b: ("double", {}), inverse_name="double",
+        ))
+        assert analyze_registry(registry) == []
+
+    def test_chain_ending_at_real_action_is_closed(self):
+        registry = ActionRegistry()
+        registry.register(SemanticAction(
+            name="fire", apply=lambda c: c, inverse=None,
+        ))
+        registry.register(SemanticAction(
+            name="arm", apply=lambda c: c,
+            inverse=lambda p, b: ("fire", {}), inverse_name="fire",
+        ))
+        assert analyze_registry(registry) == []
+
+
+@pytest.fixture
+def registry():
+    return standard_registry()
+
+
+def one_txn(ops, *, real_action=False, name="w"):
+    return {name: [GlobalTxnSpec(txn_id="T1", subtxns=[
+        SubtxnSpec("S1", ops, real_action=real_action),
+        SubtxnSpec("S2", [SemanticOp("deposit", "k9", {"amount": 1})]),
+    ])]}
+
+
+class TestWorkloadCoverage:
+    def test_standard_scenarios_are_clean(self, registry):
+        assert analyze_workloads(registry, standard_scenarios()) == []
+
+    def test_unknown_action_flagged(self, registry):
+        findings = analyze_workloads(
+            registry, one_txn([SemanticOp("teleport", "k0")])
+        )
+        rules = rules_of(findings)
+        assert "repertoire/unknown-action" in rules
+        # the unknown write is also uncovered (Theorem 2)
+        assert "repertoire/uncovered-write" in rules
+        assert findings[0].location == "workload:w/T1@S1"
+
+    def test_real_action_without_lock_holding_flag(self, registry):
+        findings = analyze_workloads(
+            registry,
+            one_txn([SemanticOp("dispense", "atm", {"amount": 50})]),
+        )
+        rules = rules_of(findings)
+        assert "repertoire/real-action-unlocked" in rules
+        assert "repertoire/uncovered-write" in rules
+        by_rule = {f.rule: f for f in findings}
+        assert "Section 2" in by_rule["repertoire/real-action-unlocked"].anchor
+        assert "Theorem 2" in by_rule["repertoire/uncovered-write"].anchor
+
+    def test_real_action_in_lock_holding_subtxn_is_fine(self, registry):
+        findings = analyze_workloads(
+            registry,
+            one_txn(
+                [SemanticOp("dispense", "atm", {"amount": 50})],
+                real_action=True,
+            ),
+        )
+        assert findings == []
+
+    def test_uncovered_write_lists_the_keys(self, registry):
+        findings = analyze_workloads(
+            registry, one_txn([SemanticOp("vanish", "k3")])
+        )
+        uncovered = [
+            f for f in findings if f.rule == "repertoire/uncovered-write"
+        ]
+        assert len(uncovered) == 1
+        assert "'k3'" in uncovered[0].message
+
+    def test_generic_writes_covered_by_before_image(self, registry):
+        findings = analyze_workloads(
+            registry, one_txn([WriteOp("k0", 5), ReadOp("k1")])
+        )
+        assert findings == []
+
+    def test_inverse_constructor_crash_on_declared_params(self, registry):
+        # deposit's inverse requires params["amount"]; a misspelled
+        # parameter would only crash at compensation time — after the
+        # global ABORT.  The lint catches it statically.
+        findings = analyze_workloads(
+            registry, one_txn([SemanticOp("deposit", "k0", {"amnt": 5})])
+        )
+        rules = rules_of(findings)
+        assert "repertoire/inverse-constructor-error" in rules
+
+    def test_inverse_name_mismatch(self):
+        registry = ActionRegistry()
+        registry.register(SemanticAction(
+            name="push", apply=lambda c: c,
+            inverse=lambda p, b: ("drop", {}),  # constructor says drop...
+            inverse_name="pop",                 # ...declaration says pop
+        ))
+        registry.register(SemanticAction(
+            name="pop", apply=lambda c: c,
+            inverse=lambda p, b: ("push", {}), inverse_name="push",
+        ))
+        registry.register(SemanticAction(
+            name="drop", apply=lambda c: c,
+            inverse=lambda p, b: ("push", {}), inverse_name="push",
+        ))
+        findings = analyze_workloads(
+            registry, one_txn([SemanticOp("push", "k0")], name="s")
+        )
+        mismatches = [
+            f for f in findings
+            if f.rule == "repertoire/inverse-name-mismatch"
+        ]
+        assert len(mismatches) == 1
+        assert "'drop'" in mismatches[0].message
+        assert "'pop'" in mismatches[0].message

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.compensation import ActionRegistry, SemanticAction, standard_registry
-from repro.errors import NotCompensatable
+from repro.errors import NotCompensatable, UnknownAction
 from repro.txn import SemanticOp
 
 
@@ -63,9 +63,25 @@ class TestStandardActions:
 
 class TestRegistry:
     def test_unknown_action_raises(self, registry):
+        # UnknownAction is the narrow type; it stays catchable as
+        # NotCompensatable for existing callers.
+        with pytest.raises(UnknownAction):
+            registry.get("teleport")
         with pytest.raises(NotCompensatable):
             registry.get("teleport")
         assert not registry.known("teleport")
+
+    def test_real_action_invert_is_not_unknown(self, registry):
+        # dispense is registered — inverting it raises the plain
+        # NotCompensatable, never UnknownAction.
+        with pytest.raises(NotCompensatable) as exc_info:
+            registry.invert(SemanticOp("dispense", "atm", {"amount": 1}), 10)
+        assert not isinstance(exc_info.value, UnknownAction)
+
+    def test_names_and_actions_are_sorted(self, registry):
+        names = registry.names()
+        assert names == sorted(names)
+        assert [a.name for a in registry.actions()] == names
 
     def test_custom_registration(self):
         registry = ActionRegistry()

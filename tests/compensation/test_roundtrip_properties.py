@@ -1,0 +1,93 @@
+"""Property: compensation round-trips restore the before-value.
+
+For every compensatable action in the standard repertoire,
+``apply(invert(op, before), apply(op, before))`` must equal ``before`` —
+this is the executable counterpart of the static Theorem-2 coverage check
+in ``repro.analysis.repertoire``: the registered counter-task really does
+undo the forward task's effect on its key.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.compensation import standard_registry
+from repro.txn import SemanticOp
+
+REGISTRY = standard_registry()
+
+_values = st.one_of(
+    st.none(),
+    st.integers(),
+    st.text(max_size=8),
+    st.dictionaries(st.text(max_size=4), st.integers(), max_size=3),
+)
+
+#: per-action (params, before) strategies.  ``insert`` creates an item, so
+#: its legitimate before-state is "absent" (None); the additive actions
+#: treat None as 0, so a None before-value is *not* restored bit-for-bit —
+#: their domain is numeric state.
+STRATEGIES = {
+    "deposit": (st.fixed_dictionaries({"amount": st.integers()}), st.integers()),
+    "withdraw": (st.fixed_dictionaries({"amount": st.integers()}), st.integers()),
+    "increment": (st.just({}), st.integers()),
+    "decrement": (st.just({}), st.integers()),
+    "insert": (st.fixed_dictionaries({"value": _values}), st.none()),
+    "delete": (st.just({}), _values),
+    "set": (st.fixed_dictionaries({"value": _values}), _values),
+    "reserve": (
+        st.one_of(st.just({}), st.fixed_dictionaries({"count": st.integers()})),
+        st.integers(),
+    ),
+    "cancel": (
+        st.one_of(st.just({}), st.fixed_dictionaries({"count": st.integers()})),
+        st.integers(),
+    ),
+}
+
+COMPENSATABLE = [a.name for a in REGISTRY.actions() if a.compensatable]
+
+
+def test_every_compensatable_action_has_a_strategy():
+    # A new repertoire entry without a round-trip strategy fails here,
+    # keeping the property exhaustive as the repertoire grows.
+    assert sorted(STRATEGIES) == COMPENSATABLE
+
+
+@pytest.mark.parametrize("name", COMPENSATABLE)
+@settings(max_examples=60)
+@given(data=st.data())
+def test_apply_invert_apply_restores_before(name, data):
+    params_st, before_st = STRATEGIES[name]
+    params = data.draw(params_st)
+    before = data.draw(before_st)
+
+    op = SemanticOp(name, "k", params)
+    after = REGISTRY.apply(op, before)
+    compensation = REGISTRY.invert(op, before)
+    restored = REGISTRY.apply(compensation, after)
+
+    assert restored == before
+    # the compensating op targets the same key and a registered action
+    assert compensation.key == op.key
+    assert REGISTRY.known(compensation.name)
+    assert compensation.name == REGISTRY.get(name).inverse_name
+
+
+@pytest.mark.parametrize("name", COMPENSATABLE)
+def test_declared_inverse_matches_constructed_inverse(name):
+    # Static declaration (inverse_name) agrees with the constructor for a
+    # concrete draw — the lint checks the same thing over workload specs.
+    params, before = {
+        "deposit": ({"amount": 7}, 10),
+        "withdraw": ({"amount": 7}, 10),
+        "increment": ({}, 3),
+        "decrement": ({}, 3),
+        "insert": ({"value": "row"}, None),
+        "delete": ({}, "row"),
+        "set": ({"value": "new"}, "old"),
+        "reserve": ({"count": 2}, 5),
+        "cancel": ({"count": 2}, 5),
+    }[name]
+    compensation = REGISTRY.invert(SemanticOp(name, "k", params), before)
+    assert compensation.name == REGISTRY.get(name).inverse_name

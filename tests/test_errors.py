@@ -13,9 +13,10 @@ def test_hierarchy_rooted_at_repro_error():
         errors.LockNotHeld, errors.DeadlockDetected, errors.LockTimeout,
         errors.TwoPhaseViolation, errors.TransactionAborted,
         errors.InvalidTransactionState, errors.SubtransactionRejected,
-        errors.NotCompensatable, errors.PersistenceViolation,
+        errors.NotCompensatable, errors.UnknownAction,
+        errors.PersistenceViolation,
         errors.ProtocolViolation, errors.HistoryError,
-        errors.CorrectnessViolation,
+        errors.CorrectnessViolation, errors.AnalysisError,
     ]
     for leaf in leaves:
         assert issubclass(leaf, errors.ReproError)
@@ -54,6 +55,21 @@ def test_key_not_found_carries_key():
 
 def test_not_compensatable_carries_op():
     assert errors.NotCompensatable("dispense").op_name == "dispense"
+
+
+def test_unknown_action_is_a_not_compensatable():
+    # Callers catching NotCompensatable (the real-action path) also catch
+    # unknown names; callers who care can catch the narrower type.
+    exc = errors.UnknownAction("teleport")
+    assert isinstance(exc, errors.NotCompensatable)
+    assert exc.op_name == "teleport"
+    assert "teleport" in str(exc)
+    assert "repertoire" in str(exc)
+
+
+def test_unknown_action_distinct_from_real_action():
+    real = errors.NotCompensatable("dispense")
+    assert not isinstance(real, errors.UnknownAction)
 
 
 def test_correctness_violation_cycle_defaults_empty():

@@ -1,0 +1,138 @@
+#!/usr/bin/env python
+"""Self-test for ``repro lint``: seeded mutations must be caught.
+
+A linter that never fires is indistinguishable from a working one, so CI
+runs this script after the clean lint pass: it copies ``src/`` to a temp
+directory, applies one protocol-breaking mutation at a time, and asserts
+the lint exits 1 with the expected rule.  The unmutated copy must stay
+clean (exit 0) to prove the harness itself isn't producing the findings.
+
+Run from the repo root: ``python tools/lint_mutation_check.py``
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import shutil
+import subprocess
+import sys
+import tempfile
+from dataclasses import dataclass
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+SRC = REPO / "src"
+
+
+@dataclass(frozen=True)
+class Mutation:
+    """One seeded defect: edit ``path`` and expect ``expect_rule`` to fire."""
+
+    name: str
+    path: str  # relative to the copied src/ tree
+    replacements: tuple[tuple[str, str], ...]  # (old, new); "" new = delete
+    append: str  # text appended to the file (for injections)
+    expect_rule: str
+
+
+MUTATIONS = [
+    Mutation(
+        name="delete-deposit-inverse",
+        path="repro/compensation/actions.py",
+        replacements=(
+            (
+                'inverse=lambda params, before: '
+                '("withdraw", {"amount": params["amount"]}),',
+                "inverse=None,",
+            ),
+            ('inverse_name="withdraw",', "inverse_name=None,"),
+        ),
+        append="",
+        # deposit silently becomes a real action: every workload deposit in
+        # a non-lock-holding subtransaction loses its counter-task
+        expect_rule="repertoire/real-action-unlocked",
+    ),
+    Mutation(
+        name="inject-wall-clock",
+        path="repro/commit/base.py",
+        replacements=(),
+        append="\nimport time\n_LINT_CANARY = time.time()\n",
+        expect_rule="determinism/wall-clock",
+    ),
+    Mutation(
+        name="drop-decision-handler",
+        path="repro/commit/participant.py",
+        replacements=((
+            'MsgType.DECISION: "_handle_decision",\n', "",
+        ),),
+        append="",
+        expect_rule="dispatch/missing-handler",
+    ),
+]
+
+
+def run_lint(src_dir: Path) -> tuple[int, dict]:
+    env = dict(os.environ, PYTHONPATH=str(src_dir))
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro", "lint", "--json"],
+        capture_output=True, text=True, env=env, cwd=REPO,
+    )
+    if proc.returncode not in (0, 1):
+        raise SystemExit(
+            f"lint crashed (exit {proc.returncode}):\n{proc.stderr}"
+        )
+    return proc.returncode, json.loads(proc.stdout)
+
+
+def mutate(src_dir: Path, mutation: Mutation) -> None:
+    target = src_dir / mutation.path
+    text = target.read_text()
+    for old, new in mutation.replacements:
+        if old not in text:
+            raise SystemExit(
+                f"{mutation.name}: pattern not found in {mutation.path!r}: "
+                f"{old!r} — the mutation no longer applies, update this script"
+            )
+        text = text.replace(old, new)
+    target.write_text(text + mutation.append)
+
+
+def main() -> int:
+    failures = []
+    with tempfile.TemporaryDirectory(prefix="lint-mutation-") as tmp:
+        pristine = Path(tmp) / "src"
+        shutil.copytree(SRC, pristine)
+
+        code, report = run_lint(pristine)
+        if code != 0 or report["findings"]:
+            raise SystemExit(
+                "pristine copy is not clean — fix the lint findings before "
+                f"trusting the mutation check:\n{json.dumps(report, indent=2)}"
+            )
+        print("pristine copy: clean (exit 0)")
+
+        for mutation in MUTATIONS:
+            mutated = Path(tmp) / f"src-{mutation.name}"
+            shutil.copytree(SRC, mutated)
+            mutate(mutated, mutation)
+            code, report = run_lint(mutated)
+            rules = [f["rule"] for f in report["findings"]]
+            if code == 1 and mutation.expect_rule in rules:
+                print(f"{mutation.name}: caught by {mutation.expect_rule}")
+            else:
+                failures.append(mutation.name)
+                print(
+                    f"{mutation.name}: NOT CAUGHT "
+                    f"(exit {code}, rules {rules})"
+                )
+
+    if failures:
+        print(f"\n{len(failures)} mutation(s) survived: {failures}")
+        return 1
+    print(f"\nall {len(MUTATIONS)} mutations caught")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
