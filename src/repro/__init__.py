@@ -23,7 +23,10 @@ True
 >>> system.check_correctness()
 
 The blessed public surface is re-exported here: :class:`System` /
-:class:`SystemConfig` plus the observability layer (:mod:`repro.obs`) —
+:class:`SystemConfig`, the transport abstraction (:class:`Transport`,
+``BACKENDS`` — ``SystemConfig(backend="net")`` selects the real TCP
+runtime in :mod:`repro.rt`), plus the observability layer
+(:mod:`repro.obs`) —
 :class:`MetricsReport` from :meth:`System.metrics`, :class:`Span` trees
 from :meth:`System.spans`, typed :class:`Event` streams from
 :meth:`System.events` (enable with ``SystemConfig(observability=True)``).
@@ -34,7 +37,8 @@ paper-versus-measured record of every reproduced figure and claim, and
 ``docs/OBSERVABILITY.md`` for the event taxonomy and tooling.
 """
 
-from repro.harness.system import System, SystemConfig
+from repro.harness.system import BACKENDS, System, SystemConfig
+from repro.net.transport import Transport
 from repro.obs import (
     Event,
     EventBus,
@@ -51,6 +55,7 @@ __version__ = "1.0.0"
 
 __all__ = [
     # blessed objects
+    "BACKENDS",
     "Event",
     "EventBus",
     "Histogram",
@@ -60,6 +65,7 @@ __all__ = [
     "StreamingMetrics",
     "System",
     "SystemConfig",
+    "Transport",
     "build_spans",
     "to_jsonl",
     # sub-packages
@@ -73,6 +79,7 @@ __all__ = [
     "locking",
     "net",
     "obs",
+    "rt",
     "sg",
     "sim",
     "storage",

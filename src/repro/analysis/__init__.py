@@ -27,7 +27,10 @@ from repro.analysis.commute import (
     ops_commute,
 )
 from repro.analysis.determinism import analyze_file, analyze_tree
-from repro.analysis.dispatch import analyze_dispatch
+from repro.analysis.dispatch import (
+    analyze_dispatch,
+    analyze_runtime_dispatch,
+)
 from repro.analysis.findings import Finding, Severity, sort_findings
 from repro.analysis.repertoire import analyze_registry, analyze_workloads
 from repro.analysis.runner import (
@@ -46,6 +49,7 @@ __all__ = [
     "analyze_file",
     "analyze_matrix",
     "analyze_registry",
+    "analyze_runtime_dispatch",
     "analyze_tree",
     "analyze_workload_commutativity",
     "analyze_workloads",

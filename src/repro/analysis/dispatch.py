@@ -24,6 +24,15 @@ Rules:
 
 ``dispatch/duplicate-handler``
     The same member appears twice in one declaration.
+
+``dispatch/runtime-mismatch``
+    The networked runtime's wire entry points (``SiteDaemon._INBOUND``,
+    ``NetClient._INBOUND``) disagree with the simulation-side dispatch
+    surfaces they must mirror (``Participant._HANDLERS``,
+    ``Coordinator._COLLECTS``).  The daemon and client run the *same*
+    protocol engines over TCP; a type accepted in one world and not the
+    other is a frame that commits in the simulator and vanishes in
+    production (or vice versa).
 """
 
 from __future__ import annotations
@@ -159,6 +168,90 @@ def analyze_dispatch(
                     f"MsgType.{name} has no participant handler and no "
                     f"coordinator collect — a message of this type would "
                     f"be silently dropped"
+                ),
+                anchor=_ANCHOR,
+            ))
+    return findings
+
+
+def analyze_runtime_dispatch(
+    message_path: Path,
+    coordinator_path: Path,
+    participant_path: Path,
+    daemon_path: Path,
+    client_path: Path,
+) -> list[Finding]:
+    """The runtime's wire entry points mirror the sim dispatch surfaces."""
+    member_names = {name for name, _ in enum_members(message_path)}
+    pairs = (
+        (
+            _declaration(daemon_path, "SiteDaemon", "_INBOUND"),
+            daemon_path,
+            "SiteDaemon._INBOUND",
+            _declaration(participant_path, "Participant", "_HANDLERS"),
+            "Participant._HANDLERS",
+        ),
+        (
+            _declaration(client_path, "NetClient", "_INBOUND"),
+            client_path,
+            "NetClient._INBOUND",
+            _declaration(coordinator_path, "Coordinator", "_COLLECTS"),
+            "Coordinator._COLLECTS",
+        ),
+    )
+
+    findings: list[Finding] = []
+    for inbound, source_path, inbound_name, mirrored, mirrored_name in pairs:
+        seen: set[str] = set()
+        decl_line = inbound[0][1] if inbound else 1
+        for name, lineno in inbound:
+            location = f"{source_path.name}:{lineno}"
+            if name not in member_names:
+                findings.append(Finding(
+                    rule="dispatch/unknown-msg-type",
+                    severity=Severity.ERROR,
+                    location=location,
+                    message=(
+                        f"{inbound_name} references MsgType.{name}, which "
+                        f"is not an enum member"
+                    ),
+                    anchor=_ANCHOR,
+                ))
+            if name in seen:
+                findings.append(Finding(
+                    rule="dispatch/duplicate-handler",
+                    severity=Severity.ERROR,
+                    location=location,
+                    message=(
+                        f"MsgType.{name} is declared twice in {inbound_name}"
+                    ),
+                    anchor=_ANCHOR,
+                ))
+            seen.add(name)
+
+        mirrored_names = {name for name, _ in mirrored}
+        for name, lineno in inbound:
+            if name in member_names and name not in mirrored_names:
+                findings.append(Finding(
+                    rule="dispatch/runtime-mismatch",
+                    severity=Severity.ERROR,
+                    location=f"{source_path.name}:{lineno}",
+                    message=(
+                        f"{inbound_name} accepts MsgType.{name} but "
+                        f"{mirrored_name} has no entry for it — the frame "
+                        f"would be read off the wire and silently ignored"
+                    ),
+                    anchor=_ANCHOR,
+                ))
+        for name in sorted(mirrored_names - seen):
+            findings.append(Finding(
+                rule="dispatch/runtime-mismatch",
+                severity=Severity.ERROR,
+                location=f"{source_path.name}:{decl_line}",
+                message=(
+                    f"{mirrored_name} handles MsgType.{name} but "
+                    f"{inbound_name} does not list it — over TCP that "
+                    f"message can never reach its handler"
                 ),
                 anchor=_ANCHOR,
             ))

@@ -22,7 +22,7 @@ from repro.analysis.commute import (
     analyze_workload_commutativity,
 )
 from repro.analysis.determinism import analyze_tree
-from repro.analysis.dispatch import analyze_dispatch
+from repro.analysis.dispatch import analyze_dispatch, analyze_runtime_dispatch
 from repro.analysis.findings import Finding, sort_findings
 from repro.analysis.repertoire import analyze_registry, analyze_workloads
 from repro.compensation.actions import standard_registry
@@ -65,6 +65,13 @@ def run_all(root: Path | None = None) -> LintReport:
         scan_root / "net" / "message.py",
         scan_root / "commit" / "coordinator.py",
         scan_root / "commit" / "participant.py",
+    ))
+    findings.extend(analyze_runtime_dispatch(
+        scan_root / "net" / "message.py",
+        scan_root / "commit" / "coordinator.py",
+        scan_root / "commit" / "participant.py",
+        scan_root / "rt" / "daemon.py",
+        scan_root / "rt" / "client.py",
     ))
 
     stats = {

@@ -24,9 +24,16 @@ Commands:
 * ``lint`` — the static compensation-soundness and determinism analyzers:
   repertoire inverse closure, Theorem 2 write coverage, commutativity /
   stratification preconditions, the determinism lint over the sources, and
-  dispatch exhaustiveness — zero schedules executed, exit 1 on findings.
+  dispatch exhaustiveness — zero schedules executed, exit 1 on findings;
+* ``serve`` — run one site as a real daemon over TCP (the ``net``
+  backend): the unmodified Participant state machine with a file-backed
+  WAL that survives ``kill -9`` (see ``docs/RUNTIME.md``);
+* ``client`` — drive a transaction against a live cluster, or query /
+  shut down one daemon over its admin channel.
 
-Everything is deterministic for a given ``--seed``.
+Shared options (``--seed``, ``--protocol``, ``--backend``) are defined
+once as parent parsers and accepted uniformly by the verbs that take
+them.  Everything simulated is deterministic for a given ``--seed``.
 """
 
 from __future__ import annotations
@@ -41,6 +48,7 @@ from repro.harness import (
     SystemConfig,
     format_table,
 )
+from repro.harness.system import BACKENDS, PROTOCOLS
 from repro.net.failures import CrashPlan
 from repro.sg import explain_cycle, find_regular_cycle, render_explanation
 from repro.txn import GlobalTxnSpec, ReadOp, SemanticOp, SubtxnSpec, VotePolicy
@@ -54,6 +62,20 @@ def _positive_float(text: str) -> float:
             f"must be a positive number, got {text!r}"
         )
     return value
+
+
+def _require_backend(args: argparse.Namespace, supported: str) -> int | None:
+    """Exit code 2 when the selected backend is not ``supported`` here."""
+    backend = getattr(args, "backend", supported)
+    if backend != supported:
+        print(
+            f"repro {args.command}: backend {backend!r} is not supported "
+            f"by this command (only {supported!r}); the net backend is "
+            f"driven by 'repro serve' and 'repro client'",
+            file=sys.stderr,
+        )
+        return 2
+    return None
 
 
 def cmd_demo(args: argparse.Namespace) -> int:
@@ -294,6 +316,9 @@ def cmd_trace(args: argparse.Namespace) -> int:
     and primitive fields; the JSON encoding uses sorted keys and fixed
     separators).
     """
+    failed = _require_backend(args, "sim")
+    if failed is not None:
+        return failed
     system, gen = _observed_run(args)
     gen.run()
     text = system.obs.jsonl()
@@ -308,6 +333,9 @@ def cmd_trace(args: argparse.Namespace) -> int:
 
 def cmd_metrics(args: argparse.Namespace) -> int:
     """Run a workload with streaming metrics; report at the end or --watch."""
+    failed = _require_backend(args, "sim")
+    if failed is not None:
+        return failed
     system, gen = _observed_run(args)
     env = system.env
     if args.watch:
@@ -354,6 +382,9 @@ def cmd_check(args: argparse.Namespace) -> int:
     a counterexample was found.  Counterexamples print their replay vector:
     ``repro check --replay`` re-executes one byte-for-byte.
     """
+    failed = _require_backend(args, "sim")
+    if failed is not None:
+        return failed
     from repro.check import (
         CheckConfig,
         ModelChecker,
@@ -439,6 +470,9 @@ def cmd_bench(args: argparse.Namespace) -> int:
     ``--tolerance``.  ``--update-baseline`` rewrites the baseline files
     from this run instead (do this deliberately, on the reference host).
     """
+    failed = _require_backend(args, "sim")
+    if failed is not None:
+        return failed
     import os
 
     from repro.harness.bench import compare_to_baseline, run_suite, to_json
@@ -512,6 +546,96 @@ def cmd_lint(args: argparse.Namespace) -> int:
     return 0 if report.ok else 1
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    """Run one site daemon until an admin shutdown or Ctrl-C."""
+    failed = _require_backend(args, "net")
+    if failed is not None:
+        return failed
+    from repro.rt.config import load_cluster
+    from repro.rt.daemon import SiteDaemon, serve_forever
+
+    cluster = load_cluster(args.cluster)
+    daemon = SiteDaemon(
+        args.site,
+        cluster,
+        scheme=CommitScheme[args.scheme],
+        protocol=args.protocol,
+        time_scale=args.time_scale,
+        keys_per_site=args.keys,
+        initial_value=args.value,
+    )
+    spec = cluster.site(args.site)
+    print(
+        f"repro serve: {args.site} on {spec.host}:{spec.port} "
+        f"(wal: {cluster.wal_path(args.site)}, scheme={args.scheme}, "
+        f"protocol={args.protocol})",
+        flush=True,
+    )
+    try:
+        serve_forever(daemon)
+    except KeyboardInterrupt:  # pragma: no cover - interactive use
+        pass
+    return 0
+
+
+def cmd_client(args: argparse.Namespace) -> int:
+    """Admin queries or a demo transfer against a live cluster."""
+    import json
+
+    failed = _require_backend(args, "net")
+    if failed is not None:
+        return failed
+    from repro.rt.client import NetClient, site_shutdown, site_status
+    from repro.rt.config import load_cluster
+
+    cluster = load_cluster(args.cluster)
+    if args.status:
+        try:
+            status = site_status(cluster, args.status)
+        except OSError as exc:
+            print(f"cannot reach {args.status}: {exc}", file=sys.stderr)
+            return 1
+        if status is None:
+            print(f"no status reply from {args.status}", file=sys.stderr)
+            return 1
+        print(json.dumps(status, indent=2, sort_keys=True))
+        return 0
+    if args.shutdown:
+        try:
+            reply = site_shutdown(cluster, args.shutdown)
+        except OSError as exc:
+            print(f"cannot reach {args.shutdown}: {exc}", file=sys.stderr)
+            return 1
+        print(f"{args.shutdown}: {'ok' if reply else 'no reply'}")
+        return 0 if reply else 1
+
+    sites = cluster.site_ids
+    if len(sites) < 2:
+        print("need at least two sites for the transfer demo",
+              file=sys.stderr)
+        return 2
+    src, dst = sites[0], sites[1]
+    client = NetClient(
+        cluster, scheme=CommitScheme[args.scheme], protocol=args.protocol,
+    )
+    outcome = client.run_transaction(GlobalTxnSpec(
+        txn_id=args.txn,
+        subtxns=[
+            SubtxnSpec(src, [SemanticOp("withdraw", args.key,
+                                        {"amount": args.amount})]),
+            SubtxnSpec(dst, [SemanticOp("deposit", args.key,
+                                        {"amount": args.amount})]),
+        ],
+    ))
+    print(
+        f"{args.txn}: {'COMMIT' if outcome.committed else 'ABORT'} "
+        f"({src} -> {dst}, {args.key} amount={args.amount}); "
+        f"no_votes={outcome.no_votes} "
+        f"compensated={outcome.compensated_sites}"
+    )
+    return 0 if outcome.committed else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The repro CLI argument parser."""
     parser = argparse.ArgumentParser(
@@ -520,73 +644,90 @@ def build_parser() -> argparse.ArgumentParser:
                     "SIGMOD 1991)",
     )
     parser.add_argument("--seed", type=int, default=0)
-    # Also accepted after the subcommand (``repro trace --seed 7``);
-    # SUPPRESS keeps the subparser from clobbering a top-level value.
-    seed_parent = argparse.ArgumentParser(add_help=False)
-    seed_parent.add_argument("--seed", type=int, default=argparse.SUPPRESS)
+
+    # Shared options are defined once and accepted after any subcommand
+    # that lists them (``repro trace --seed 7``).  SUPPRESS keeps a
+    # subparser from clobbering a top-level value and lets each verb pick
+    # its own default via set_defaults.  The factories matter: argparse's
+    # set_defaults mutates ``action.default`` on the action object, and
+    # ``parents=`` shares actions by reference — a single shared parent
+    # would leak one verb's default into every other verb.
+    def seed_parent() -> argparse.ArgumentParser:
+        p = argparse.ArgumentParser(add_help=False)
+        p.add_argument("--seed", type=int, default=argparse.SUPPRESS)
+        return p
+
+    def protocol_parent() -> argparse.ArgumentParser:
+        p = argparse.ArgumentParser(add_help=False)
+        p.add_argument(
+            "--protocol", default=argparse.SUPPRESS,
+            choices=sorted(PROTOCOLS),
+            help="marking protocol",
+        )
+        return p
+
+    def backend_parent() -> argparse.ArgumentParser:
+        p = argparse.ArgumentParser(add_help=False)
+        p.add_argument(
+            "--backend", default=argparse.SUPPRESS,
+            choices=list(BACKENDS),
+            help="transport backend: discrete-event sim or TCP daemons",
+        )
+        return p
+
     sub = parser.add_subparsers(dest="command", required=True)
 
-    demo = sub.add_parser("demo", parents=[seed_parent],
+    demo = sub.add_parser("demo", parents=[seed_parent(), protocol_parent()],
                           help="narrated end-to-end run")
-    demo.add_argument("--protocol", default="P1",
-                      choices=["none", "saga", "P1", "P2", "SIMPLE"])
-    demo.set_defaults(fn=cmd_demo)
+    demo.set_defaults(fn=cmd_demo, protocol="P1")
 
-    drill = sub.add_parser("drill", parents=[seed_parent],
+    drill = sub.add_parser("drill", parents=[seed_parent()],
                            help="coordinator-failure drill")
     drill.add_argument("--outage", type=float, default=100.0)
     drill.set_defaults(fn=cmd_drill)
 
-    sweep = sub.add_parser("sweep", parents=[seed_parent],
+    sweep = sub.add_parser("sweep", parents=[seed_parent()],
                            help="abort-probability sweep")
     sweep.add_argument("--transactions", type=int, default=60)
     sweep.add_argument("--sites", type=int, default=4)
     sweep.set_defaults(fn=cmd_sweep)
 
-    report = sub.add_parser("report", parents=[seed_parent],
+    report = sub.add_parser("report", parents=[seed_parent()],
                             help="write experiment artifacts")
     report.add_argument("--out", default="results")
     report.set_defaults(fn=cmd_report)
 
-    audit = sub.add_parser("audit", parents=[seed_parent],
+    audit = sub.add_parser("audit", parents=[seed_parent(), protocol_parent()],
                            help="regular-cycle audit")
-    audit.add_argument("--protocol", default="none",
-                       choices=["none", "saga", "P1", "P2", "SIMPLE"])
-    audit.set_defaults(fn=cmd_audit)
+    audit.set_defaults(fn=cmd_audit, protocol="none")
 
     trace = sub.add_parser(
-        "trace", parents=[seed_parent],
+        "trace", parents=[seed_parent(), protocol_parent(), backend_parent()],
         help="emit a deterministic JSONL event trace",
     )
     trace.add_argument("--transactions", type=int, default=20)
     trace.add_argument("--sites", type=int, default=3)
-    trace.add_argument("--protocol", default="P1",
-                       choices=["none", "saga", "P1", "P2", "SIMPLE"])
     trace.add_argument("--out", default=None,
                        help="write JSONL here instead of stdout")
-    trace.set_defaults(fn=cmd_trace)
+    trace.set_defaults(fn=cmd_trace, protocol="P1", backend="sim")
 
     metrics = sub.add_parser(
-        "metrics", parents=[seed_parent],
+        "metrics", parents=[seed_parent(), protocol_parent(), backend_parent()],
         help="streaming metrics over a workload",
     )
     metrics.add_argument("--transactions", type=int, default=40)
     metrics.add_argument("--sites", type=int, default=3)
-    metrics.add_argument("--protocol", default="P1",
-                         choices=["none", "saga", "P1", "P2", "SIMPLE"])
     metrics.add_argument("--watch", action="store_true",
                          help="print one snapshot per simulation window")
     metrics.add_argument("--window", type=_positive_float, default=10.0)
-    metrics.set_defaults(fn=cmd_metrics)
+    metrics.set_defaults(fn=cmd_metrics, protocol="P1", backend="sim")
 
     check = sub.add_parser(
-        "check", parents=[seed_parent],
+        "check", parents=[seed_parent(), protocol_parent(), backend_parent()],
         help="model-check protocol schedules and crash points",
     )
     check.add_argument("--scenario", default="conflict",
                        choices=["conflict", "duel"])
-    check.add_argument("--protocol", default="P1",
-                       choices=["none", "saga", "P1", "P2", "SIMPLE"])
     check.add_argument("--depth", type=int, default=12,
                        help="choice points eligible for DFS branching")
     check.add_argument("--crashes", type=int, default=0,
@@ -614,10 +755,10 @@ def build_parser() -> argparse.ArgumentParser:
     check.add_argument("--replay", default=None, metavar="V0,V1,...",
                        help="replay one choice vector; prints its JSONL "
                             "trace")
-    check.set_defaults(fn=cmd_check)
+    check.set_defaults(fn=cmd_check, protocol="P1", backend="sim")
 
     bench = sub.add_parser(
-        "bench", parents=[seed_parent],
+        "bench", parents=[seed_parent(), backend_parent()],
         help="pinned perf workloads; BENCH_*.json + baseline gate",
     )
     bench.add_argument("--smoke", action="store_true",
@@ -635,7 +776,7 @@ def build_parser() -> argparse.ArgumentParser:
                        help="rewrite the baseline files from this run")
     bench.add_argument("--jobs", type=int, default=1,
                        help="worker processes for the check workload")
-    bench.set_defaults(fn=cmd_bench)
+    bench.set_defaults(fn=cmd_bench, backend="sim")
 
     lint = sub.add_parser(
         "lint",
@@ -647,6 +788,42 @@ def build_parser() -> argparse.ArgumentParser:
                       help="source tree to scan instead of the installed "
                            "package (AST families only)")
     lint.set_defaults(fn=cmd_lint)
+
+    serve = sub.add_parser(
+        "serve", parents=[seed_parent(), protocol_parent(), backend_parent()],
+        help="run one site as a TCP daemon (net backend)",
+    )
+    serve.add_argument("site", help="site id from the cluster file")
+    serve.add_argument("--cluster", required=True,
+                       help="cluster file (site addresses + data_dir)")
+    serve.add_argument("--scheme", default="O2PC",
+                       choices=["O2PC", "TWO_PL"])
+    serve.add_argument("--time-scale", type=_positive_float, default=0.01,
+                       help="real seconds per simulation unit")
+    serve.add_argument("--keys", type=int, default=20,
+                       help="keys preloaded on first boot")
+    serve.add_argument("--value", type=int, default=100,
+                       help="initial value of preloaded keys")
+    serve.set_defaults(fn=cmd_serve, protocol="none", backend="net")
+
+    client = sub.add_parser(
+        "client", parents=[seed_parent(), protocol_parent(), backend_parent()],
+        help="run a transaction / admin command against a live cluster",
+    )
+    client.add_argument("--cluster", required=True,
+                        help="cluster file (site addresses + data_dir)")
+    client.add_argument("--status", metavar="SITE", default=None,
+                        help="print one daemon's status snapshot as JSON")
+    client.add_argument("--shutdown", metavar="SITE", default=None,
+                        help="ask one daemon to shut down cleanly")
+    client.add_argument("--scheme", default="O2PC",
+                        choices=["O2PC", "TWO_PL"])
+    client.add_argument("--txn", default="T1", help="transaction id")
+    client.add_argument("--key", default="k0",
+                        help="key moved by the transfer demo")
+    client.add_argument("--amount", type=int, default=10,
+                        help="amount moved by the transfer demo")
+    client.set_defaults(fn=cmd_client, protocol="none", backend="net")
     return parser
 
 

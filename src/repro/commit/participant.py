@@ -424,6 +424,12 @@ class Participant:
             )
             self.subtxns[txn_id] = state
             yield from self.site.ltm.recover_in_doubt(txn_id)
+            if self.scheme is CommitScheme.O2PC:
+                # An in-doubt site under O2PC is a prepared real-action
+                # site: its YES vote marked it locally committed.
+                self.marking.restore_locally_committed(
+                    txn_id, self.site.site_id
+                )
         for txn_id in report.locally_committed:
             state = _SubtxnState(
                 txn_id=txn_id, ops=[], vote_policy=VotePolicy.AUTO,
@@ -431,6 +437,10 @@ class Participant:
             )
             self.subtxns[txn_id] = state
             self.site.ltm.recover_locally_committed(txn_id)
+            # Re-derive the marking the crash wiped (no-op in the sim,
+            # whose directory survives): the decision's transition must
+            # fire from LOCALLY_COMMITTED.
+            self.marking.restore_locally_committed(txn_id, self.site.site_id)
         return report
 
     # -- autonomy ------------------------------------------------------------------------

@@ -94,6 +94,22 @@ class MarkingStateMachine:
         self.transitions.append((txn_id, current, event, new))
         return new
 
+    def restore(self, txn_id: str, marking: Marking) -> None:
+        """Re-seed a marking re-derived from durable state after a crash.
+
+        Crash recovery re-establishes markings from the WAL's transaction
+        classification rather than by re-firing Figure 2 events, so this
+        bypasses the transition relation and leaves no audit entry.  A
+        no-op when the machine already holds that marking (the simulator's
+        directory survives a modeled crash; a real daemon's does not).
+        """
+        if self.state(txn_id) is marking:
+            return
+        if marking is Marking.UNMARKED:
+            self._states.pop(txn_id, None)
+        else:
+            self._states[txn_id] = marking
+
     def undone_set(self) -> set[str]:
         """Transactions this site is undone with respect to (sitemarks)."""
         return {

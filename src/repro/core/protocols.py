@@ -105,6 +105,21 @@ class MarkingProtocol:
         )
         self.directory.note_marked(txn_id, site_id)
 
+    def restore_locally_committed(self, txn_id: str, site_id: str) -> None:
+        """Crash recovery re-derived a locally-committed subtransaction.
+
+        The WAL proves the site voted to commit ``txn_id`` before the
+        crash, so its marking must be LOCALLY_COMMITTED for the pending
+        decision's Figure 2 transition to fire legally.  Idempotent: in
+        the simulator the directory survives a modeled crash and the
+        marking is already in place.
+        """
+        from repro.core.marking import Marking
+
+        machine = self.directory.machine(site_id)
+        if machine.state(txn_id) is Marking.UNMARKED:
+            machine.restore(txn_id, Marking.LOCALLY_COMMITTED)
+
     def on_transaction_terminated(self, txn_id: str) -> None:
         """The global transaction fully terminated (coordinator hook).
 

@@ -6,28 +6,28 @@ protocol) and exposes one-call transaction submission plus the
 observability surface (:meth:`System.metrics`, :meth:`System.timeline`,
 :meth:`System.events`; see :mod:`repro.obs`).
 :mod:`repro.harness.experiment` provides parameter sweeps and table
-formatting for the benchmark suite and EXPERIMENTS.md.  The old
-free-function entry points (``collect_metrics``, ``transaction_timeline``,
-``lock_gantt``, ``marking_audit``) remain as deprecation shims.
+formatting for the benchmark suite and EXPERIMENTS.md.
+
+``SystemConfig(backend="net")`` selects the networked runtime
+(:mod:`repro.rt`) instead of the simulation; build it with
+:func:`repro.rt.system.open_system` (the :class:`System` class itself is
+the ``backend="sim"`` implementation).
 """
 
 from repro.harness.bench import compare_to_baseline, run_suite
 from repro.harness.experiment import ExperimentResult, Sweep, format_table
-from repro.harness.metrics import MetricsReport, collect_metrics
-from repro.harness.system import System, SystemConfig
-from repro.harness.trace import lock_gantt, marking_audit, transaction_timeline
+from repro.harness.system import BACKENDS, PROTOCOLS, System, SystemConfig
+from repro.obs.metrics import MetricsReport
 
 __all__ = [
+    "BACKENDS",
     "ExperimentResult",
     "MetricsReport",
+    "PROTOCOLS",
     "Sweep",
     "System",
     "SystemConfig",
-    "collect_metrics",
     "compare_to_baseline",
     "format_table",
     "run_suite",
-    "lock_gantt",
-    "marking_audit",
-    "transaction_timeline",
 ]

@@ -65,6 +65,10 @@ PROTOCOLS = {
     "SIMPLE": SimpleProtocol,
 }
 
+#: transport backends accepted by SystemConfig.backend: the discrete-event
+#: simulation, or real per-site daemons over TCP (see :mod:`repro.rt`)
+BACKENDS = ("sim", "net")
+
 
 @dataclass
 class SystemConfig:
@@ -103,11 +107,23 @@ class SystemConfig:
     observability: bool = False
     #: window size (simulation time) of the streaming metrics' time series
     metrics_window: float = 10.0
+    #: transport backend: "sim" (discrete-event, in-process) or "net"
+    #: (real per-site daemons over TCP — built by
+    #: :func:`repro.rt.system.open_system` / :class:`repro.rt.NetSystem`)
+    backend: str = "sim"
+    #: cluster file for backend="net" (site addresses + data_dir); None
+    #: gives an ephemeral localhost cluster with a temporary data_dir
+    sites_file: str | None = None
 
     def __post_init__(self) -> None:
         if self.metrics_window <= 0:
             raise ValueError(
                 f"metrics_window must be positive, got {self.metrics_window}"
+            )
+        if self.backend not in BACKENDS:
+            valid = ", ".join(BACKENDS)
+            raise ValueError(
+                f"unknown backend {self.backend!r}: expected one of {valid}"
             )
         if isinstance(self.protocol, MarkingProtocol):
             return
@@ -128,6 +144,12 @@ class System:
         env: Environment | None = None,
     ) -> None:
         self.config = config or SystemConfig()
+        if self.config.backend != "sim":
+            raise ValueError(
+                f"System is the backend='sim' implementation; for "
+                f"backend={self.config.backend!r} use repro.rt.NetSystem "
+                f"or repro.rt.system.open_system(config)"
+            )
         #: ``env`` lets a caller supply a pre-built environment — the model
         #: checker injects its controlled scheduler this way
         self.env = env or Environment()

@@ -1,13 +1,16 @@
 """Message-passing substrate between sites.
 
 Provides typed :class:`~repro.net.message.Message` objects, a
-:class:`~repro.net.network.Network` with per-link latency and loss models, and
-:class:`~repro.net.failures.FailureInjector` for crash/recovery schedules.
+:class:`~repro.net.network.Network` with per-link latency and loss models,
+:class:`~repro.net.failures.FailureInjector` for crash/recovery schedules,
+and the :class:`~repro.net.transport.Transport` protocol that both the
+simulated network and the asyncio runtime (:mod:`repro.rt`) implement.
 """
 
 from repro.net.failures import FailureInjector, SiteStatus
 from repro.net.message import Message, MsgType
 from repro.net.network import ExponentialLatency, LatencyModel, Network
+from repro.net.transport import Transport
 
 __all__ = [
     "ExponentialLatency",
@@ -17,4 +20,5 @@ __all__ = [
     "MsgType",
     "Network",
     "SiteStatus",
+    "Transport",
 ]

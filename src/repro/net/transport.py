@@ -1,0 +1,62 @@
+"""The transport abstraction both backends implement.
+
+The protocol core (:class:`~repro.commit.coordinator.Coordinator`,
+:class:`~repro.commit.participant.Participant`) never talks to a concrete
+network class — it talks to *a transport*: something that registers
+endpoints, sends typed :class:`~repro.net.message.Message` objects, and
+hands out receive events backed by per-endpoint FIFO inboxes.  Two
+implementations exist:
+
+* :class:`~repro.net.network.Network` — the simulated backend: latency
+  models, seeded loss, link severing, crash-aware drops, all on the
+  discrete-event clock (``SystemConfig(backend="sim")``);
+* :class:`~repro.rt.transport.TcpTransport` — the production backend: real
+  asyncio TCP sockets with length-prefixed frames, one daemon per site
+  (``SystemConfig(backend="net")``, ``repro serve`` / ``repro client``).
+
+Failure-semantics contract (shared conformance suite in
+``tests/net/test_transport_conformance.py``): a message that cannot reach
+its recipient is silently *dropped and counted*, never raised to the
+sender.  In the simulation that covers loss draws, crashed endpoints, and
+links severed while the message is in flight; over TCP the same bucket
+covers refused connections and connections reset mid-write.  Senders learn
+about lost messages the only way a distributed system can: by timeout.
+"""
+
+from __future__ import annotations
+
+from typing import Protocol, runtime_checkable
+
+from repro.net.message import Message
+from repro.sim.events import Event
+from repro.sim.store import Store
+
+
+@runtime_checkable
+class Transport(Protocol):
+    """What the protocol core requires of a message transport.
+
+    Implementations own per-endpoint inboxes (:class:`~repro.sim.store.Store`
+    channels on the local simulation environment) and the delivery path
+    between them.  All methods are non-blocking; waiting happens by yielding
+    the event returned from :meth:`receive` inside a simulation process.
+    """
+
+    def register(self, endpoint_id: str) -> Store:
+        """Create (or return) the local inbox for ``endpoint_id``."""
+        ...
+
+    def inbox(self, endpoint_id: str) -> Store:
+        """The inbox of a registered endpoint (raises if unknown)."""
+        ...
+
+    def send(self, message: Message) -> None:
+        """Hand a message to the transport; delivery is asynchronous.
+
+        Undeliverable messages are counted as dropped, never raised.
+        """
+        ...
+
+    def receive(self, endpoint_id: str) -> Event:
+        """Event that triggers with the next message for ``endpoint_id``."""
+        ...

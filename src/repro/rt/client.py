@@ -1,0 +1,144 @@
+"""NetClient: drive global transactions against a live cluster.
+
+The client is the coordinator's host: it runs the unmodified
+:class:`~repro.commit.coordinator.Coordinator` state machine on a local
+pumped environment, registering the coordinator endpoint
+(``coord.<txn>``) on its :class:`~repro.rt.transport.TcpTransport`.
+Daemons learn the return route from the first frame and send
+SUBTXN_ACK/VOTE/ACK replies back over the same connection.
+
+``failures=None`` is deliberate: over real sockets nobody hands the
+coordinator an oracle of site liveness — a dead participant is exactly a
+missed timeout, which is the paper's failure model and what the protocol
+already handles.
+
+Each :meth:`run_transaction` call runs one event loop (dial, execute,
+hang up), which is the natural shape for the ``repro client`` CLI; the
+async surface (:meth:`submit`) is there for tests that multiplex.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Any
+
+from repro.commit.base import CommitConfig, CommitScheme
+from repro.commit.coordinator import Coordinator
+from repro.core.marks import MarkingDirectory
+from repro.core.protocols import MarkingProtocol
+from repro.harness.system import PROTOCOLS
+from repro.net.message import MsgType
+from repro.rt.config import ClusterConfig
+from repro.rt.pump import RealtimePump
+from repro.rt.transport import TcpTransport
+from repro.rt.wire import read_frame, write_frame
+from repro.sim.engine import Environment
+from repro.txn.transaction import GlobalTxnSpec, TxnOutcome
+
+
+class NetClient:
+    """Coordinator driver for the networked backend."""
+
+    #: message types the client accepts from the wire — must mirror
+    #: ``Coordinator._COLLECTS`` (checked by ``repro lint``'s dispatch
+    #: rule, same contract as ``SiteDaemon._INBOUND``)
+    _INBOUND = (MsgType.SUBTXN_ACK, MsgType.VOTE, MsgType.ACK)
+
+    def __init__(
+        self,
+        cluster: ClusterConfig,
+        scheme: CommitScheme = CommitScheme.O2PC,
+        protocol: str | MarkingProtocol = "none",
+        commit: CommitConfig | None = None,
+        time_scale: float = 0.01,
+    ) -> None:
+        self.cluster = cluster
+        self.scheme = scheme
+        self.commit = commit or CommitConfig()
+        self.time_scale = time_scale
+        self.env = Environment()
+        self.pump = RealtimePump(self.env, time_scale=time_scale)
+        self.transport = TcpTransport(self.env, cluster, self.pump)
+        if isinstance(protocol, MarkingProtocol):
+            self.marking: MarkingProtocol = protocol
+        else:
+            self.marking = PROTOCOLS[protocol](directory=MarkingDirectory())
+        self.outcomes: list[TxnOutcome] = []
+
+    # -- running transactions ------------------------------------------------
+
+    async def submit(self, spec: GlobalTxnSpec) -> TxnOutcome:
+        """Run one global transaction (the pump must already be running)."""
+        coordinator = Coordinator(
+            env=self.env,
+            network=self.transport,
+            spec=spec,
+            scheme=self.scheme,
+            marking=self.marking,
+            config=self.commit,
+            failures=None,
+        )
+        proc = self.env.process(
+            coordinator.run(), name=f"coordinator:{spec.txn_id}"
+        )
+        outcome: TxnOutcome = await self.pump.wait_for(proc)
+        self.outcomes.append(outcome)
+        return outcome
+
+    async def run_session(
+        self, specs: list[GlobalTxnSpec]
+    ) -> list[TxnOutcome]:
+        """Run transactions sequentially under one pump/loop."""
+        pump_task = asyncio.get_running_loop().create_task(self.pump.run())
+        try:
+            return [await self.submit(spec) for spec in specs]
+        finally:
+            self.pump.stop()
+            try:
+                await pump_task
+            except asyncio.CancelledError:
+                pass
+            await self.transport.close()
+
+    def run_transaction(self, spec: GlobalTxnSpec) -> TxnOutcome:
+        """Blocking convenience wrapper: one transaction, one event loop."""
+        return asyncio.run(self.run_session([spec]))[0]
+
+
+# -- admin helpers (status / shutdown frames) ---------------------------------
+
+async def _admin_roundtrip(
+    cluster: ClusterConfig, site_id: str, cmd: str, **extra: Any,
+) -> dict[str, Any] | None:
+    spec = cluster.site(site_id)
+    reader, writer = await asyncio.open_connection(*spec.address)
+    try:
+        await write_frame(writer, {"kind": "admin", "cmd": cmd, **extra})
+        reply = await read_frame(reader)
+    finally:
+        writer.close()
+    if reply is None:
+        return None
+    return reply.get("reply")
+
+
+def site_status(
+    cluster: ClusterConfig, site_id: str,
+) -> dict[str, Any] | None:
+    """Fetch one daemon's status snapshot (``repro client --status``)."""
+    return asyncio.run(_admin_roundtrip(cluster, site_id, "status"))
+
+
+def site_read(
+    cluster: ClusterConfig, site_id: str, key: str,
+) -> Any:
+    """Read one key's committed value from a live daemon's store."""
+    reply = asyncio.run(_admin_roundtrip(cluster, site_id, "read", key=key))
+    return None if reply is None else reply.get("value")
+
+
+def site_shutdown(
+    cluster: ClusterConfig, site_id: str,
+) -> dict[str, Any] | None:
+    """Ask one daemon to shut down cleanly."""
+    return asyncio.run(_admin_roundtrip(cluster, site_id, "shutdown"))

@@ -1,0 +1,116 @@
+"""Bridging the discrete-event kernel to the asyncio wall clock.
+
+The protocol core is written as generator processes against
+:class:`~repro.sim.engine.Environment` — timeouts, inbox waits, composite
+events.  The networked runtime runs that code *unmodified* by pumping the
+environment in real time:
+
+* all events due at the current simulation instant are processed
+  immediately;
+* when the next scheduled event lies in the (simulated) future, the pump
+  sleeps ``delta * time_scale`` real seconds, then advances the clock;
+* externally injected work (a frame arriving from a socket triggers an
+  inbox ``put``) schedules events at the current instant and *kicks* the
+  pump, which wakes and drains them at once.
+
+``time_scale`` maps simulation units to real seconds.  The default of
+10 ms per unit keeps protocol timeouts (hundreds of units) in the
+single-digit-second range while leaving message handling effectively
+instantaneous — and, unlike the simulation, the wall clock is shared with
+the operating system, so a ``kill -9``'d daemon really does go silent.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Any
+
+from repro.sim.engine import Environment
+from repro.sim.events import Event
+
+
+class RealtimePump:
+    """Drives one :class:`Environment` against the asyncio clock."""
+
+    def __init__(
+        self, env: Environment, time_scale: float = 0.01,
+    ) -> None:
+        if time_scale <= 0:
+            raise ValueError(f"time_scale must be positive, got {time_scale}")
+        self.env = env
+        self.time_scale = time_scale
+        self._kick = asyncio.Event()
+        self._running = False
+
+    # -- external wake-ups ---------------------------------------------------
+
+    def kick(self) -> None:
+        """Wake the pump: externally injected events are ready to run."""
+        self._kick.set()
+
+    # -- the pump loop -------------------------------------------------------
+
+    def _drain_due(self) -> None:
+        """Process every event scheduled at or before the current instant."""
+        env = self.env
+        while env.peek() <= env.now:
+            env.step()
+
+    async def run(self) -> None:
+        """Pump until :meth:`stop` (or task cancellation).
+
+        Exceptions escaping event callbacks (unhandled process failures)
+        propagate out of this coroutine — the host decides whether that
+        kills the daemon or the client call.
+        """
+        self._running = True
+        env = self.env
+        while self._running:
+            self._drain_due()
+            next_at = env.peek()
+            if next_at == float("inf"):
+                # Nothing scheduled: wait for external input.
+                await self._kick.wait()
+                self._kick.clear()
+                continue
+            delay = (next_at - env.now) * self.time_scale
+            try:
+                await asyncio.wait_for(self._kick.wait(), timeout=delay)
+                self._kick.clear()
+                # New work was injected at the current instant; loop to
+                # drain it without advancing the clock early.
+                continue
+            except asyncio.TimeoutError:
+                env.run(until=next_at)
+
+    def stop(self) -> None:
+        """Ask the pump loop to exit after the current iteration."""
+        self._running = False
+        self.kick()
+
+    # -- waiting on simulation events from asyncio ---------------------------
+
+    async def wait_for(self, event: Event) -> Any:
+        """Await a simulation event (e.g. a coordinator process) from asyncio.
+
+        Returns the event's value, or raises its failure — the asyncio
+        mirror of ``env.run(until=event)``.
+        """
+        loop = asyncio.get_running_loop()
+        future: asyncio.Future[Any] = loop.create_future()
+
+        def resolve(evt: Event) -> None:
+            if future.done():  # pragma: no cover - cancellation race
+                return
+            if evt._ok:
+                future.set_result(evt._value)
+            else:
+                evt.defused = True
+                future.set_exception(evt._value)
+
+        if event.processed:
+            resolve(event)
+        else:
+            event.callbacks.append(resolve)
+            self.kick()
+        return await future

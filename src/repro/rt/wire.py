@@ -1,0 +1,171 @@
+"""Wire format of the networked runtime: length-prefixed JSON frames.
+
+Every frame is a 4-byte big-endian payload length followed by a UTF-8 JSON
+object.  Two frame kinds travel on the same connection:
+
+* ``{"kind": "msg", ...}`` — a serialized protocol
+  :class:`~repro.net.message.Message`.  The payload's typed values
+  (operation lists, :class:`~repro.txn.transaction.VotePolicy`) round-trip
+  through tagged JSON, so a daemon rebuilds exactly the object the
+  simulation would have delivered.
+* ``{"kind": "admin", ...}`` — daemon control traffic (status snapshots,
+  orderly shutdown) used by ``repro client --status`` and the integration
+  tests.  Admin frames are *not* part of the protocol vocabulary — they
+  never reach the Participant's dispatch loop, so the ``MsgType``
+  message-count claims (CLAIM-MSG) are unaffected.
+
+The framing mirrors the WAL's on-disk format choice: explicit lengths make
+torn frames detectable, and a reader never blocks past a frame boundary.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+from typing import Any
+
+from repro.net.message import Message, MsgType
+from repro.txn.operations import Op, ReadOp, SemanticOp, WriteOp
+from repro.txn.transaction import VotePolicy
+
+#: 4-byte big-endian payload length
+_LEN = struct.Struct(">I")
+
+#: refuse absurd frames before allocating (a corrupt peer, not a workload)
+MAX_FRAME = 16 * 1024 * 1024
+
+
+class WireError(ValueError):
+    """A frame could not be decoded (truncated, oversized, or malformed)."""
+
+
+# -- operations ---------------------------------------------------------------
+
+def op_to_json(op: Op) -> dict[str, Any]:
+    """Tagged JSON form of one operation."""
+    if isinstance(op, ReadOp):
+        return {"op": "read", "key": op.key}
+    if isinstance(op, WriteOp):
+        return {"op": "write", "key": op.key, "value": op.value}
+    if isinstance(op, SemanticOp):
+        return {
+            "op": "semantic", "name": op.name, "key": op.key,
+            "params": op.params,
+        }
+    raise WireError(f"unserializable operation {op!r}")
+
+
+def op_from_json(data: dict[str, Any]) -> Op:
+    """Inverse of :func:`op_to_json`."""
+    tag = data.get("op")
+    if tag == "read":
+        return ReadOp(key=data["key"])
+    if tag == "write":
+        return WriteOp(key=data["key"], value=data["value"])
+    if tag == "semantic":
+        return SemanticOp(
+            name=data["name"], key=data["key"],
+            params=dict(data.get("params", {})),
+        )
+    raise WireError(f"unknown operation tag {tag!r}")
+
+
+# -- payload values -----------------------------------------------------------
+
+def _payload_to_json(payload: dict[str, Any]) -> dict[str, Any]:
+    out: dict[str, Any] = {}
+    for key, value in payload.items():
+        if key == "ops":
+            out[key] = [op_to_json(op) for op in value]
+        elif isinstance(value, VotePolicy):
+            out[key] = {"__vote_policy__": value.value}
+        else:
+            out[key] = value
+    return out
+
+
+def _payload_from_json(payload: dict[str, Any]) -> dict[str, Any]:
+    out: dict[str, Any] = {}
+    for key, value in payload.items():
+        if key == "ops":
+            out[key] = [op_from_json(item) for item in value]
+        elif isinstance(value, dict) and "__vote_policy__" in value:
+            out[key] = VotePolicy(value["__vote_policy__"])
+        else:
+            out[key] = value
+    return out
+
+
+# -- messages -----------------------------------------------------------------
+
+def message_to_json(message: Message) -> dict[str, Any]:
+    """JSON frame body of one protocol message."""
+    return {
+        "kind": "msg",
+        "type": message.msg_type.value,
+        "sender": message.sender,
+        "recipient": message.recipient,
+        "txn": message.txn_id,
+        "payload": _payload_to_json(message.payload),
+    }
+
+
+def message_from_json(data: dict[str, Any]) -> Message:
+    """Rebuild a protocol message from a frame body."""
+    try:
+        return Message(
+            msg_type=MsgType(data["type"]),
+            sender=data["sender"],
+            recipient=data["recipient"],
+            txn_id=data["txn"],
+            payload=_payload_from_json(data.get("payload", {})),
+        )
+    except (KeyError, ValueError) as exc:
+        raise WireError(f"malformed message frame: {exc}") from exc
+
+
+# -- framing ------------------------------------------------------------------
+
+def encode_frame(body: dict[str, Any]) -> bytes:
+    """One wire frame: length prefix plus compact JSON."""
+    payload = json.dumps(
+        body, sort_keys=True, separators=(",", ":"),
+    ).encode("utf-8")
+    if len(payload) > MAX_FRAME:
+        raise WireError(f"frame of {len(payload)} bytes exceeds MAX_FRAME")
+    return _LEN.pack(len(payload)) + payload
+
+
+def decode_frame(payload: bytes) -> dict[str, Any]:
+    """Decode one frame payload (the bytes after the length prefix)."""
+    try:
+        body = json.loads(payload)
+    except ValueError as exc:
+        raise WireError(f"undecodable frame: {exc}") from exc
+    if not isinstance(body, dict) or "kind" not in body:
+        raise WireError("frame body is not a tagged object")
+    return body
+
+
+async def read_frame(reader: Any) -> dict[str, Any] | None:
+    """Read one frame from an asyncio stream; None on orderly EOF."""
+    import asyncio
+
+    try:
+        header = await reader.readexactly(_LEN.size)
+    except (asyncio.IncompleteReadError, ConnectionError):
+        return None
+    (length,) = _LEN.unpack(header)
+    if length > MAX_FRAME:
+        raise WireError(f"announced frame of {length} bytes exceeds MAX_FRAME")
+    try:
+        payload = await reader.readexactly(length)
+    except (asyncio.IncompleteReadError, ConnectionError):
+        return None
+    return decode_frame(payload)
+
+
+async def write_frame(writer: Any, body: dict[str, Any]) -> None:
+    """Write one frame to an asyncio stream and drain."""
+    writer.write(encode_frame(body))
+    await writer.drain()

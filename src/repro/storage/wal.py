@@ -12,16 +12,32 @@ mark local transaction termination.  O2PC participants write
 ``LOCAL_COMMIT`` when they release locks early (Section 2), which is what a
 recovering site uses to know compensation — not state-based undo — is the
 only way to revoke the transaction.
+
+File backing (the ``net`` backend): constructed with a ``path``, the log
+appends every record to that file as a length-prefixed, CRC32-checked JSON
+frame and ``fsync``\\ s on forced writes, so it survives ``kill -9`` of the
+hosting daemon.  Reopening the same path replays the file; a torn or
+corrupt final frame — the signature of a crash mid-append — is detected by
+the length/checksum pair and truncated away (the record it belonged to was
+never acknowledged as durable), matching what a real recovery pass does
+with a torn tail.
 """
 
 from __future__ import annotations
 
 import enum
 import itertools
+import json
+import os
+import struct
+import zlib
 from dataclasses import dataclass, field
 from typing import Any, Iterator
 
 from repro.errors import WALError
+
+#: on-disk frame header: payload length + CRC32 of the payload
+_FRAME_HEADER = struct.Struct(">II")
 
 
 class RecordType(enum.Enum):
@@ -44,6 +60,34 @@ class RecordType(enum.Enum):
 
 #: record types that terminate a transaction locally
 _TERMINAL = {RecordType.COMMIT, RecordType.ABORT}
+
+
+def _record_to_json(record: "LogRecord") -> dict[str, Any]:
+    """JSON form of one record (values must be JSON-serializable)."""
+    return {
+        "lsn": record.lsn,
+        "type": record.record_type.value,
+        "txn": record.txn_id,
+        "key": record.key,
+        "before": record.before,
+        "after": record.after,
+        "prev": record.prev_lsn,
+        "payload": record.payload,
+    }
+
+
+def _record_from_json(data: dict[str, Any]) -> "LogRecord":
+    """Inverse of :func:`_record_to_json`."""
+    return LogRecord(
+        lsn=data["lsn"],
+        record_type=RecordType(data["type"]),
+        txn_id=data["txn"],
+        key=data["key"],
+        before=data["before"],
+        after=data["after"],
+        prev_lsn=data["prev"],
+        payload=data["payload"],
+    )
 
 
 @dataclass
@@ -75,7 +119,7 @@ class WriteAheadLog:
     whole log.
     """
 
-    def __init__(self, site_id: str = "site") -> None:
+    def __init__(self, site_id: str = "site", path: str | None = None) -> None:
         self.site_id = site_id
         self._records: list[LogRecord] = []
         self._lsn = itertools.count(1)
@@ -86,6 +130,102 @@ class WriteAheadLog:
         #: force-write counter (metrics: 2PC forced log writes are the
         #: protocol's durability cost)
         self.forced_writes = 0
+        #: backing file (None = purely in-memory, the sim backend)
+        self.path = path
+        #: torn/corrupt trailing frames dropped when the file was opened
+        self.torn_records_truncated = 0
+        self._file: Any = None
+        if path is not None:
+            self._open_file(path)
+
+    # -- file backing ------------------------------------------------------------
+
+    def _open_file(self, path: str) -> None:
+        """Open (and replay) the backing file; truncate any torn tail."""
+        if os.path.exists(path):
+            good_bytes = self._replay_file(path)
+            self._file = open(path, "r+b")
+            self._file.seek(0, os.SEEK_END)
+            if self._file.tell() > good_bytes:
+                # A frame was half-written when the daemon died: the record
+                # was never durable, so recovery discards it.
+                self._file.truncate(good_bytes)
+                self._file.seek(good_bytes)
+                self._file.flush()
+                os.fsync(self._file.fileno())
+        else:
+            self._file = open(path, "w+b")
+
+    def _replay_file(self, path: str) -> int:
+        """Rebuild in-memory state from ``path``; returns intact byte count."""
+        offset = 0
+        records: list[LogRecord] = []
+        with open(path, "rb") as handle:
+            data = handle.read()
+        while offset < len(data):
+            header = data[offset:offset + _FRAME_HEADER.size]
+            if len(header) < _FRAME_HEADER.size:
+                self.torn_records_truncated += 1
+                break
+            length, checksum = _FRAME_HEADER.unpack(header)
+            payload = data[
+                offset + _FRAME_HEADER.size:
+                offset + _FRAME_HEADER.size + length
+            ]
+            if len(payload) < length or zlib.crc32(payload) != checksum:
+                self.torn_records_truncated += 1
+                break
+            try:
+                records.append(_record_from_json(json.loads(payload)))
+            except (ValueError, KeyError) as exc:
+                raise WALError(
+                    f"{path}: undecodable record at byte {offset}: {exc}"
+                ) from exc
+            offset += _FRAME_HEADER.size + length
+        for record in records:
+            self._install(record)
+        return offset
+
+    def _install(self, record: LogRecord) -> None:
+        """Install one replayed record into the in-memory structures."""
+        if not self._records:
+            self._base = record.lsn - 1
+        elif record.lsn != self._records[-1].lsn + 1:
+            raise WALError(
+                f"non-contiguous LSNs in {self.path}: "
+                f"{self._records[-1].lsn} then {record.lsn}"
+            )
+        self._records.append(record)
+        self._last_lsn[record.txn_id] = record.lsn
+        self._lsn = itertools.count(record.lsn + 1)
+
+    def _persist(self, record: LogRecord, force: bool) -> None:
+        payload = json.dumps(
+            _record_to_json(record), sort_keys=True, separators=(",", ":"),
+        ).encode("utf-8")
+        self._file.write(
+            _FRAME_HEADER.pack(len(payload), zlib.crc32(payload)) + payload
+        )
+        if force:
+            self._file.flush()
+            os.fsync(self._file.fileno())
+
+    def _rewrite_file(self) -> None:
+        """Rewrite the backing file from the retained records (truncation)."""
+        self._file.seek(0)
+        self._file.truncate(0)
+        for record in self._records:
+            self._persist(record, force=False)
+        self._file.flush()
+        os.fsync(self._file.fileno())
+
+    def close(self) -> None:
+        """Flush and close the backing file (no-op when in-memory)."""
+        if self._file is not None:
+            self._file.flush()
+            os.fsync(self._file.fileno())
+            self._file.close()
+            self._file = None
 
     # -- append -----------------------------------------------------------------
 
@@ -119,6 +259,8 @@ class WriteAheadLog:
         self._last_lsn[txn_id] = record.lsn
         if force:
             self.forced_writes += 1
+        if self._file is not None:
+            self._persist(record, force)
         return record
 
     # -- reading -------------------------------------------------------------------
@@ -191,6 +333,8 @@ class WriteAheadLog:
         for record in self._records:
             if record.prev_lsn is not None and record.prev_lsn <= self._base:
                 record.prev_lsn = None
+        if self._file is not None:
+            self._rewrite_file()
         return len(dropped)
 
     def records_for(self, txn_id: str) -> list[LogRecord]:

@@ -4,7 +4,11 @@ import shutil
 
 import pytest
 
-from repro.analysis import analyze_dispatch, default_root
+from repro.analysis import (
+    analyze_dispatch,
+    analyze_runtime_dispatch,
+    default_root,
+)
 from repro.errors import AnalysisError
 from repro.net.message import MsgType
 
@@ -18,9 +22,26 @@ def repo_paths():
     )
 
 
+def runtime_paths():
+    root = default_root()
+    return repo_paths() + (
+        root / "rt" / "daemon.py",
+        root / "rt" / "client.py",
+    )
+
+
 def copied_paths(tmp_path):
     out = []
     for src in repo_paths():
+        dst = tmp_path / src.name
+        shutil.copy(src, dst)
+        out.append(dst)
+    return out
+
+
+def copied_runtime_paths(tmp_path):
+    out = []
+    for src in runtime_paths():
         dst = tmp_path / src.name
         shutil.copy(src, dst)
         out.append(dst)
@@ -96,3 +117,65 @@ def test_missing_declaration_is_an_analysis_error(tmp_path):
     participant.write_text(doctored)
     with pytest.raises(AnalysisError):
         analyze_dispatch(message, coordinator, participant)
+
+
+class TestRuntimeDispatch:
+    """The rt daemon/client wire surfaces mirror the sim dispatch tables."""
+
+    def test_shipped_runtime_surfaces_match(self):
+        assert analyze_runtime_dispatch(*runtime_paths()) == []
+
+    def test_inbound_literals_match_runtime_objects(self):
+        # The AST-read declarations must be what the classes really bind.
+        from repro.commit.coordinator import Coordinator
+        from repro.commit.participant import Participant
+        from repro.rt.client import NetClient
+        from repro.rt.daemon import SiteDaemon
+
+        assert set(SiteDaemon._INBOUND) == set(Participant._HANDLERS)
+        assert set(NetClient._INBOUND) == set(Coordinator._COLLECTS)
+
+    def test_daemon_missing_inbound_entry_is_flagged(self, tmp_path):
+        paths = copied_runtime_paths(tmp_path)
+        daemon = paths[3]
+        text = daemon.read_text()
+        doctored = text.replace("MsgType.DECISION)", ")")
+        assert doctored != text
+        daemon.write_text(doctored)
+        findings = analyze_runtime_dispatch(*paths)
+        assert [f.rule for f in findings] == ["dispatch/runtime-mismatch"]
+        assert "MsgType.DECISION" in findings[0].message
+        assert "Participant._HANDLERS" in findings[0].message
+
+    def test_client_extra_inbound_entry_is_flagged(self, tmp_path):
+        paths = copied_runtime_paths(tmp_path)
+        client = paths[4]
+        text = client.read_text()
+        doctored = text.replace(
+            "MsgType.ACK)", "MsgType.ACK, MsgType.DECISION)"
+        )
+        assert doctored != text
+        client.write_text(doctored)
+        findings = analyze_runtime_dispatch(*paths)
+        assert [f.rule for f in findings] == ["dispatch/runtime-mismatch"]
+        assert "MsgType.DECISION" in findings[0].message
+        assert "silently ignored" in findings[0].message
+
+    def test_unknown_member_in_inbound_is_flagged(self, tmp_path):
+        paths = copied_runtime_paths(tmp_path)
+        daemon = paths[3]
+        text = daemon.read_text()
+        doctored = text.replace(
+            "MsgType.DECISION)", "MsgType.DECISION, MsgType.NACK)"
+        )
+        assert doctored != text
+        daemon.write_text(doctored)
+        findings = analyze_runtime_dispatch(*paths)
+        assert "dispatch/unknown-msg-type" in [f.rule for f in findings]
+
+    def test_missing_inbound_declaration_is_an_analysis_error(self, tmp_path):
+        paths = copied_runtime_paths(tmp_path)
+        daemon = paths[3]
+        daemon.write_text(daemon.read_text().replace("_INBOUND", "_RENAMED"))
+        with pytest.raises(AnalysisError):
+            analyze_runtime_dispatch(*paths)

@@ -81,6 +81,7 @@ class TestCli:
         # leak — proves --root rescans, and the exit code gates.
         (tmp_path / "net").mkdir()
         (tmp_path / "commit").mkdir()
+        (tmp_path / "rt").mkdir()
         (tmp_path / "net" / "message.py").write_text(
             "class MsgType:\n"
             "    SUBTXN_REQ = 1\n"
@@ -94,6 +95,14 @@ class TestCli:
             "class Participant:\n"
             "    _HANDLERS = {MsgType.SUBTXN_REQ: '_handle'}\n"
             "    WALL = time.time()\n"
+        )
+        (tmp_path / "rt" / "daemon.py").write_text(
+            "class SiteDaemon:\n"
+            "    _INBOUND = (MsgType.SUBTXN_REQ,)\n"
+        )
+        (tmp_path / "rt" / "client.py").write_text(
+            "class NetClient:\n"
+            "    _INBOUND = ()\n"
         )
         assert main(["lint", "--root", str(tmp_path)]) == 1
         out = capsys.readouterr().out

@@ -5,10 +5,9 @@ from repro.harness import (
     Sweep,
     System,
     SystemConfig,
-    collect_metrics,
     format_table,
 )
-from repro.harness.metrics import mean, percentile
+from repro.obs.metrics import mean, percentile
 from repro.txn import GlobalTxnSpec, SemanticOp, SubtxnSpec, VotePolicy
 
 
@@ -40,7 +39,7 @@ class TestCollectMetrics:
         return system
 
     def test_commit_accounting(self):
-        report = collect_metrics(self.run_system())
+        report = self.run_system().metrics()
         assert (report.committed, report.aborted) == (1, 0)
         assert report.abort_rate == 0.0
         assert report.mean_latency > 0
@@ -48,20 +47,20 @@ class TestCollectMetrics:
         assert report.messages_total == 12
 
     def test_abort_accounting(self):
-        report = collect_metrics(self.run_system(force_no=True))
+        report = self.run_system(force_no=True).metrics()
         assert (report.committed, report.aborted) == (0, 1)
         assert report.abort_rate == 1.0
         assert report.compensations == 1
 
     def test_lock_metrics_populated(self):
-        report = collect_metrics(self.run_system())
+        report = self.run_system().metrics()
         assert report.mean_lock_hold > 0
         assert report.max_lock_hold >= report.mean_lock_hold
         assert report.forced_log_writes > 0
 
     def test_explicit_elapsed_drives_throughput(self):
         system = self.run_system()
-        report = collect_metrics(system, elapsed=10.0)
+        report = system.metrics(elapsed=10.0)
         assert report.throughput == 0.1
 
 

@@ -1,14 +1,8 @@
 """Unit tests for the text timeline renderers."""
 
 from repro.commit import CommitScheme
-from repro.harness import (
-    System,
-    SystemConfig,
-    lock_gantt,
-    marking_audit,
-    transaction_timeline,
-)
-from repro.harness.trace import _bar
+from repro.harness import System, SystemConfig
+from repro.obs.render import _bar
 from repro.txn import GlobalTxnSpec, SemanticOp, SubtxnSpec, VotePolicy
 
 
@@ -47,46 +41,46 @@ class TestBar:
 
 class TestTransactionTimeline:
     def test_committed_line(self):
-        text = transaction_timeline(run_system())
+        text = run_system().timeline()
         assert "T1" in text
         assert "COMMIT" in text
         assert "|" in text
 
     def test_aborted_line_annotated(self):
-        text = transaction_timeline(run_system(force_no=True))
+        text = run_system(force_no=True).timeline()
         assert "ABORT" in text
         assert "NO@S2" in text
         assert "CT@S1" in text
 
     def test_empty_system(self):
-        assert transaction_timeline(System()) == "(no transactions)"
+        assert System().timeline() == "(no transactions)"
 
 
 class TestLockGantt:
     def test_bars_for_held_keys(self):
         system = run_system()
-        text = lock_gantt(system, "S1")
+        text = system.lock_gantt("S1")
         assert "locks at S1" in text
         assert "k0" in text
         assert "#" in text
 
     def test_key_filter(self):
         system = run_system()
-        assert "k0" not in lock_gantt(system, "S1", keys=["nope"])
+        assert "k0" not in system.lock_gantt("S1", keys=["nope"])
 
     def test_no_holds(self):
-        assert "(no lock holds)" in lock_gantt(System(), "S1")
+        assert "(no lock holds)" in System().lock_gantt("S1")
 
 
 class TestMarkingAudit:
     def test_transitions_listed(self):
         system = run_system(force_no=True, protocol="P1")
-        text = marking_audit(system)
+        text = system.marking_audit()
         assert "vote-abort" in text or "decision-abort" in text
         assert "S2" in text
 
     def test_clean_run_has_no_clearings(self):
         system = run_system(protocol="P1")
-        text = marking_audit(system)
+        text = system.marking_audit()
         assert "UDUM" not in text
         assert "quiescence" not in text

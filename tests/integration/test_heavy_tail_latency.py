@@ -6,7 +6,7 @@ a 2PL lock hold but not an O2PC one.
 """
 
 from repro.commit import CommitScheme
-from repro.harness import System, SystemConfig, collect_metrics
+from repro.harness import System, SystemConfig
 from repro.net import ExponentialLatency
 from repro.workload import WorkloadConfig, WorkloadGenerator
 
@@ -21,7 +21,7 @@ def run(scheme, seed=2):
         n_transactions=30, arrival_mean=6.0, read_fraction=0.4,
     ), seed=seed)
     elapsed = gen.run()
-    return system, collect_metrics(system, elapsed)
+    return system, system.metrics(elapsed)
 
 
 def test_all_transactions_terminate():
@@ -53,7 +53,7 @@ def test_tail_raises_latency_over_deterministic_network():
         n_transactions=30, arrival_mean=6.0, read_fraction=0.4,
     ), seed=2)
     elapsed = gen.run()
-    flat_report = collect_metrics(flat, elapsed)
+    flat_report = flat.metrics(elapsed)
     assert tail_report.mean_latency > 1.5 * flat_report.mean_latency
     # ... and still shows per-transaction spread.
     latencies = [o.latency for o in tail_system.outcomes]

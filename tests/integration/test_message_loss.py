@@ -7,7 +7,7 @@ holders, conserved balances, a correct history.
 """
 
 from repro.commit import CommitConfig, CommitScheme
-from repro.harness import System, SystemConfig, collect_metrics
+from repro.harness import System, SystemConfig
 from repro.txn.transaction import TxnStatus
 from repro.workload import WorkloadConfig, WorkloadGenerator
 
@@ -27,7 +27,7 @@ def run_lossy(loss, seed=1, n_txns=30):
         n_transactions=n_txns, arrival_mean=4.0, read_fraction=0.5,
     ), seed=seed)
     elapsed = gen.run()
-    return system, collect_metrics(system, elapsed)
+    return system, system.metrics(elapsed)
 
 
 def assert_no_zombie_locks(system):

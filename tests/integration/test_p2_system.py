@@ -7,7 +7,7 @@ aborts, but needing no UDUM machinery (decision messages clear its marks).
 """
 
 from repro.commit import CommitScheme
-from repro.harness import System, SystemConfig, collect_metrics
+from repro.harness import System, SystemConfig
 from repro.txn import GlobalTxnSpec, ReadOp, SemanticOp, SubtxnSpec, VotePolicy
 from repro.workload import WorkloadConfig, WorkloadGenerator
 
@@ -86,7 +86,7 @@ def test_p2_workload_correct_under_aborts():
         read_fraction=0.5, arrival_mean=2.5, zipf_theta=0.4,
     ), seed=5)
     elapsed = gen.run()
-    report = collect_metrics(system, elapsed)
+    report = system.metrics(elapsed)
     assert report.committed > 0
     assert report.aborted > 0
     system.check_correctness()

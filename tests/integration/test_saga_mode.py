@@ -7,7 +7,7 @@ at all its sites or is compensated/rolled back at all of them, and invariant
 quantities (account totals) are preserved.
 """
 
-from repro.harness import System, SystemConfig, collect_metrics
+from repro.harness import System, SystemConfig
 from repro.txn import GlobalTxnSpec, ReadOp, SubtxnSpec, VotePolicy, WriteOp
 from repro.txn.transaction import TxnStatus
 from repro.workload import WorkloadConfig, WorkloadGenerator, banking_transfers
@@ -75,6 +75,6 @@ def test_saga_throughput_matches_unprotected_baseline():
             n_transactions=30, abort_probability=0.2, arrival_mean=2.0,
         ), seed=8)
         elapsed = gen.run()
-        return collect_metrics(system, elapsed).committed
+        return system.metrics(elapsed).committed
 
     assert run("saga") == run("none")

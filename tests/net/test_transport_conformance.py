@@ -1,0 +1,268 @@
+"""Shared conformance suite for both Transport implementations.
+
+The protocol core (Coordinator/Participant) is transport-agnostic; that
+only holds if every Transport honors the same contract (documented on
+:class:`repro.net.transport.Transport`):
+
+1. ``register`` creates a FIFO inbox; ``receive`` yields messages in
+   delivery order; ``send`` to a registered endpoint delivers.
+2. ``send`` NEVER raises for an unreachable recipient — the message is
+   dropped and counted in ``dropped``; the sender learns only by timeout.
+3. ``sent`` / ``delivered`` / ``dropped`` counters are per-``MsgType``.
+
+Rule 2 is the failure-semantics mapping this PR documents: the simulated
+network's *severed-in-flight* drop (a message on a link that is cut
+before delivery) corresponds to the TCP transport's *connection refused /
+reset* drop (the daemon died before the frame was handled).  In both
+worlds the bytes vanish, nothing is raised at the sender, and the
+protocol's timeout machinery is the only failure detector.
+"""
+
+import asyncio
+
+from repro.net.message import Message, MsgType
+from repro.net.network import LatencyModel, Network
+from repro.net.transport import Transport
+from repro.rt.config import local_cluster
+from repro.rt.pump import RealtimePump
+from repro.rt.transport import TcpTransport
+from repro.sim.engine import Environment
+from repro.sim.rng import Rng
+
+
+def msg(recipient, sender="A", msg_type=MsgType.SUBTXN_REQ, txn="T1"):
+    return Message(
+        msg_type=msg_type, sender=sender, recipient=recipient,
+        txn_id=txn, payload={"n": 1},
+    )
+
+
+class TestProtocolClass:
+    def test_both_implementations_satisfy_the_protocol(self):
+        assert issubclass(Network, Transport)
+        assert issubclass(TcpTransport, Transport)
+
+    def test_transport_is_runtime_checkable(self):
+        env = Environment()
+        network = Network(env, rng=Rng(0), latency=LatencyModel(base=1.0))
+        assert isinstance(network, Transport)
+
+
+class TestSimulatedNetworkContract:
+    def setup_method(self):
+        self.env = Environment()
+        self.net = Network(
+            self.env, rng=Rng(0), latency=LatencyModel(base=1.0),
+        )
+        self.net.register("A")
+        self.net.register("B")
+
+    def drain(self):
+        self.env.run()
+
+    def test_send_delivers_to_registered_inbox(self):
+        self.net.send(msg("B"))
+        self.drain()
+        assert len(self.net.inbox("B").items) == 1
+        assert self.net.delivered[MsgType.SUBTXN_REQ] == 1
+
+    def test_fifo_order(self):
+        for i in range(3):
+            self.net.send(msg("B", txn=f"T{i}"))
+        self.drain()
+        txns = [m.txn_id for m in self.net.inbox("B").items]
+        assert txns == ["T0", "T1", "T2"]
+
+    def test_send_to_down_recipient_drops_without_raising(self):
+        self.net.mark_down("B")
+        self.net.send(msg("B"))  # must not raise
+        self.drain()
+        assert len(self.net.inbox("B").items) == 0
+        assert self.net.dropped[MsgType.SUBTXN_REQ] == 1
+
+    def test_severed_in_flight_drops_without_raising(self):
+        # The message is already on the wire when the link is cut: the
+        # drop happens at (attempted) delivery time, not send time.
+        self.net.send(msg("B"))
+        self.net.sever("A", "B")
+        self.drain()
+        assert len(self.net.inbox("B").items) == 0
+        assert self.net.dropped[MsgType.SUBTXN_REQ] == 1
+
+    def test_counters_are_per_msg_type(self):
+        self.net.send(msg("B", msg_type=MsgType.VOTE_REQ))
+        self.net.send(msg("B", msg_type=MsgType.DECISION))
+        self.drain()
+        assert self.net.sent[MsgType.VOTE_REQ] == 1
+        assert self.net.sent[MsgType.DECISION] == 1
+        assert self.net.total_sent() == 2
+
+
+class TestTcpTransportContract:
+    """The same contract, over real sockets.
+
+    One listening transport ("S1", the daemon side) and one pure client
+    transport.  The client's sends cross a real TCP connection; S1's
+    replies ride the learned return route.
+    """
+
+    def run_async(self, coro):
+        return asyncio.run(coro)
+
+    @staticmethod
+    async def make_pair():
+        cluster = local_cluster(["S1"], data_dir=".")
+        server_env = Environment()
+        server_pump = RealtimePump(server_env)
+        server = TcpTransport(server_env, cluster, server_pump, "S1")
+        server.register("S1")
+        await server.serve()
+        client_env = Environment()
+        client_pump = RealtimePump(client_env)
+        client = TcpTransport(client_env, cluster, client_pump)
+        client.register("A")
+        return server, client
+
+    @staticmethod
+    async def settle():
+        # Let the event loop run the connection/read tasks.
+        for _ in range(20):
+            await asyncio.sleep(0.005)
+
+    def test_send_delivers_across_a_socket(self):
+        async def scenario():
+            server, client = await self.make_pair()
+            try:
+                client.send(msg("S1"))
+                await self.settle()
+                items = server.inbox("S1").items
+                assert len(items) == 1
+                assert items[0].txn_id == "T1"
+                assert items[0].payload == {"n": 1}
+                assert client.sent[MsgType.SUBTXN_REQ] == 1
+                assert server.delivered[MsgType.SUBTXN_REQ] == 1
+            finally:
+                await client.close()
+                await server.close()
+
+        self.run_async(scenario())
+
+    def test_fifo_order_across_a_socket(self):
+        async def scenario():
+            server, client = await self.make_pair()
+            try:
+                for i in range(3):
+                    client.send(msg("S1", txn=f"T{i}"))
+                await self.settle()
+                txns = [m.txn_id for m in server.inbox("S1").items]
+                assert txns == ["T0", "T1", "T2"]
+            finally:
+                await client.close()
+                await server.close()
+
+        self.run_async(scenario())
+
+    def test_reply_rides_the_learned_return_route(self):
+        async def scenario():
+            server, client = await self.make_pair()
+            try:
+                client.send(msg("S1"))
+                await self.settle()
+                # S1 replies to "A" — not a configured site, so the only
+                # way back is the connection the request arrived on.
+                server.send(msg("A", sender="S1",
+                                msg_type=MsgType.SUBTXN_ACK))
+                await self.settle()
+                items = client.inbox("A").items
+                assert len(items) == 1
+                assert items[0].msg_type is MsgType.SUBTXN_ACK
+            finally:
+                await client.close()
+                await server.close()
+
+        self.run_async(scenario())
+
+    def test_connection_refused_drops_without_raising(self):
+        # The TCP analogue of the simulation's recipient-down drop: the
+        # daemon is not listening, the connect is refused, the message is
+        # counted dropped, and the sender sees no exception.
+        async def scenario():
+            cluster = local_cluster(["S1"], data_dir=".")  # nobody serves
+            env = Environment()
+            client = TcpTransport(env, cluster, RealtimePump(env))
+            client.register("A")
+            try:
+                client.send(msg("S1"))  # must not raise
+                await self.settle()
+                assert client.dropped[MsgType.SUBTXN_REQ] == 1
+                assert client.sent[MsgType.SUBTXN_REQ] == 1
+            finally:
+                await client.close()
+
+        self.run_async(scenario())
+
+    def test_connection_reset_maps_to_severed_in_flight(self):
+        # Establish a live connection, kill the server (the sever), then
+        # send again: the frame hits a dead peer.  Whether the OS surfaces
+        # that as an immediate reset or the frame silently vanishes, the
+        # contract is the same as the simulation's severed-in-flight rule:
+        # nothing raises at the sender and the message is never delivered.
+        async def scenario():
+            server, client = await self.make_pair()
+            client.send(msg("S1"))
+            await self.settle()
+            assert server.delivered[MsgType.SUBTXN_REQ] == 1
+            await server.close()  # sever every established link
+            await self.settle()
+            try:
+                client.send(msg("S1", txn="T2"))  # must not raise
+                await self.settle()
+                # Never delivered; once the death is observed it is a
+                # counted drop (refused re-dial), exactly like the
+                # simulation counting severed_in_flight.
+                assert server.delivered[MsgType.SUBTXN_REQ] == 1
+                assert client.dropped[MsgType.SUBTXN_REQ] >= 1
+            finally:
+                await client.close()
+
+        self.run_async(scenario())
+
+    def test_unreachable_endpoint_drops_at_the_sender(self):
+        # No cluster entry and no learned route: the client itself must
+        # count the drop (mirror of the simulation's unknown-endpoint
+        # handling) rather than raise into protocol code.
+        async def scenario():
+            server, client = await self.make_pair()
+            try:
+                client.send(msg("coord.Tx", sender="A",
+                                msg_type=MsgType.ACK))
+                await self.settle()
+                assert client.dropped[MsgType.ACK] == 1
+            finally:
+                await client.close()
+                await server.close()
+
+        self.run_async(scenario())
+
+    def test_frame_for_unhosted_endpoint_drops_at_the_receiver(self):
+        # A frame that arrives for an endpoint the daemon does not host
+        # is counted dropped by the receiving transport.
+        from repro.rt.wire import message_to_json, write_frame
+
+        async def scenario():
+            server, client = await self.make_pair()
+            try:
+                spec = server.cluster.site("S1")
+                _, writer = await asyncio.open_connection(*spec.address)
+                await write_frame(
+                    writer, message_to_json(msg("S9", sender="A",
+                                                msg_type=MsgType.ACK)),
+                )
+                await self.settle()
+                assert server.dropped[MsgType.ACK] == 1
+                writer.close()
+            finally:
+                await client.close()
+                await server.close()
+
+        self.run_async(scenario())

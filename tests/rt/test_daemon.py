@@ -1,0 +1,123 @@
+"""In-process daemon round-trip: two SiteDaemons and a NetClient.
+
+The same Coordinator/Participant code that runs inside ``System`` runs
+here over real sockets on localhost — one event loop hosting both
+daemons and the client, which keeps the test fast and deterministic
+while still exercising the full wire path (frames, learned return
+routes, WAL file, admin surface).
+"""
+
+import asyncio
+
+import pytest
+
+from repro.commit.base import CommitScheme
+from repro.rt.client import NetClient
+from repro.rt.config import local_cluster
+from repro.rt.daemon import SiteDaemon
+from repro.txn.operations import SemanticOp
+from repro.txn.transaction import GlobalTxnSpec, SubtxnSpec, VotePolicy
+
+
+def transfer_spec(txn_id="T1", amount=30, vote=VotePolicy.AUTO):
+    return GlobalTxnSpec(
+        txn_id=txn_id,
+        subtxns=[
+            SubtxnSpec("S1", [SemanticOp("withdraw", "k0",
+                                         {"amount": amount})]),
+            SubtxnSpec("S2", [SemanticOp("deposit", "k0",
+                                         {"amount": amount})], vote=vote),
+        ],
+    )
+
+
+async def run_cluster(tmp_path, specs, scheme=CommitScheme.O2PC):
+    cluster = local_cluster(["S1", "S2"], data_dir=str(tmp_path))
+    daemons = [
+        SiteDaemon(site_id, cluster, scheme=scheme, time_scale=0.002)
+        for site_id in cluster.site_ids
+    ]
+    for daemon in daemons:
+        await daemon.start()
+    client = NetClient(cluster, scheme=scheme, time_scale=0.002)
+    try:
+        outcomes = await client.run_session(specs)
+        statuses = [daemon.status() for daemon in daemons]
+        return outcomes, statuses
+    finally:
+        for daemon in daemons:
+            await daemon.shutdown()
+
+
+class TestDaemonRoundTrip:
+    def test_transfer_commits_across_sockets(self, tmp_path):
+        outcomes, statuses = asyncio.run(
+            run_cluster(tmp_path, [transfer_spec()])
+        )
+        outcome = outcomes[0]
+        assert outcome.committed
+        assert outcome.compensated_sites == []
+        for status in statuses:
+            assert status["fresh_boot"] is True
+            assert status["keys"] == 20
+            # SUBTXN_REQ + VOTE_REQ + DECISION arrived; WAL holds the
+            # checkpoint plus the subtransaction's records.
+            assert status["wal_records"] > 1
+            assert status["subtxns"]["T1"]["voted"] == "YES"
+
+    def test_forced_no_vote_aborts_and_compensates(self, tmp_path):
+        # S2 votes NO; S1 has already locally committed its withdraw
+        # (O2PC), so the ABORT decision must run compensation at S1.
+        outcomes, _ = asyncio.run(run_cluster(
+            tmp_path, [transfer_spec(vote=VotePolicy.FORCE_NO)],
+        ))
+        outcome = outcomes[0]
+        assert not outcome.committed
+        assert outcome.no_votes == ["S2"]
+        assert "S1" in outcome.compensated_sites
+
+    def test_sequential_transactions_share_the_cluster(self, tmp_path):
+        specs = [transfer_spec(txn_id=f"T{i}", amount=10) for i in range(3)]
+        outcomes, statuses = asyncio.run(run_cluster(tmp_path, specs))
+        assert [o.committed for o in outcomes] == [True, True, True]
+        assert sorted(statuses[0]["subtxns"]) == ["T0", "T1", "T2"]
+
+    def test_wal_survives_daemon_restart(self, tmp_path):
+        async def scenario():
+            cluster = local_cluster(["S1", "S2"], data_dir=str(tmp_path))
+
+            daemons = [SiteDaemon(s, cluster, time_scale=0.002)
+                       for s in cluster.site_ids]
+            for daemon in daemons:
+                await daemon.start()
+            client = NetClient(cluster, time_scale=0.002)
+            try:
+                await client.run_session([transfer_spec()])
+            finally:
+                for daemon in daemons:
+                    await daemon.shutdown()
+
+            # Reboot S1 on the same WAL: recovery replays the committed
+            # subtransaction instead of reloading pristine keys.
+            rebooted = SiteDaemon("S1", cluster, time_scale=0.002)
+            assert rebooted.fresh_boot is False
+            await rebooted.start()
+            try:
+                status = rebooted.status()
+            finally:
+                await rebooted.shutdown()
+            return status
+
+        status = asyncio.run(scenario())
+        assert status["fresh_boot"] is False
+        assert status["recovered"] is not None
+        assert status["recovered"]["in_doubt"] == []
+        assert status["recovered"]["locally_committed"] == []
+        assert status["recovered"]["redone"] >= 1
+        assert status["keys"] == 20
+
+    def test_two_pl_scheme_also_commits(self, tmp_path):
+        outcomes, _ = asyncio.run(run_cluster(
+            tmp_path, [transfer_spec()], scheme=CommitScheme.TWO_PL,
+        ))
+        assert outcomes[0].committed

@@ -1,0 +1,145 @@
+"""RealtimePump: the discrete-event kernel against the asyncio clock.
+
+The pump's contract is that generator protocol code cannot tell it is
+not inside ``env.run()``: timeouts fire in order, externally injected
+events (a socket frame landing in an inbox) run at the current instant
+after a kick, and ``wait_for`` mirrors ``env.run(until=event)``.
+"""
+
+import asyncio
+
+import pytest
+
+from repro.rt.pump import RealtimePump
+from repro.sim.engine import Environment
+from repro.sim.store import Store
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+class TestPump:
+    def test_time_scale_must_be_positive(self):
+        with pytest.raises(ValueError):
+            RealtimePump(Environment(), time_scale=0)
+
+    def test_timeouts_fire_in_simulation_order(self):
+        async def scenario():
+            env = Environment()
+            pump = RealtimePump(env, time_scale=0.001)
+            fired = []
+
+            def proc(delay, tag):
+                yield env.timeout(delay)
+                fired.append((tag, env.now))
+
+            env.process(proc(3, "late"))
+            env.process(proc(1, "early"))
+            task = asyncio.ensure_future(pump.run())
+            await asyncio.sleep(0.1)
+            pump.stop()
+            await task
+            return fired
+
+        assert run(scenario()) == [("early", 1), ("late", 3)]
+
+    def test_external_put_wakes_a_waiting_process(self):
+        async def scenario():
+            env = Environment()
+            pump = RealtimePump(env, time_scale=0.001)
+            store = Store(env)
+            got = []
+
+            def consumer():
+                item = yield store.get()
+                got.append(item)
+
+            env.process(consumer())
+            task = asyncio.ensure_future(pump.run())
+            await asyncio.sleep(0.02)
+            # Nothing scheduled: the pump is parked on its kick event.
+            store.put("frame")
+            pump.kick()
+            await asyncio.sleep(0.05)
+            pump.stop()
+            await task
+            return got
+
+        assert run(scenario()) == ["frame"]
+
+    def test_wait_for_returns_process_value(self):
+        async def scenario():
+            env = Environment()
+            pump = RealtimePump(env, time_scale=0.001)
+
+            def worker():
+                yield env.timeout(2)
+                return "done"
+
+            proc = env.process(worker())
+            task = asyncio.ensure_future(pump.run())
+            value = await pump.wait_for(proc)
+            pump.stop()
+            await task
+            return value
+
+        assert run(scenario()) == "done"
+
+    def test_wait_for_raises_process_failure(self):
+        async def scenario():
+            env = Environment()
+            pump = RealtimePump(env, time_scale=0.001)
+
+            def worker():
+                yield env.timeout(1)
+                raise RuntimeError("boom")
+
+            proc = env.process(worker())
+            task = asyncio.ensure_future(pump.run())
+            try:
+                with pytest.raises(RuntimeError, match="boom"):
+                    await pump.wait_for(proc)
+            finally:
+                pump.stop()
+                await task
+
+        run(scenario())
+
+    def test_wait_for_already_processed_event(self):
+        async def scenario():
+            env = Environment()
+            pump = RealtimePump(env, time_scale=0.001)
+
+            def worker():
+                yield env.timeout(1)
+                return 41
+
+            proc = env.process(worker())
+            env.run()  # process completes before the pump even starts
+            return await pump.wait_for(proc)
+
+        assert run(scenario()) == 41
+
+    def test_clock_advances_with_wall_time(self):
+        async def scenario():
+            env = Environment()
+            pump = RealtimePump(env, time_scale=0.005)
+
+            def worker():
+                yield env.timeout(10)
+
+            proc = env.process(worker())
+            task = asyncio.ensure_future(pump.run())
+            loop = asyncio.get_running_loop()
+            before = loop.time()
+            await pump.wait_for(proc)
+            elapsed = loop.time() - before
+            pump.stop()
+            await task
+            return env.now, elapsed
+
+        now, elapsed = run(scenario())
+        assert now == 10
+        # 10 units * 5 ms/unit: the wall clock genuinely moved.
+        assert elapsed >= 0.04

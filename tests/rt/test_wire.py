@@ -1,0 +1,103 @@
+"""Wire codec: messages, operations, and framing round-trip exactly.
+
+The daemon must rebuild byte-identical protocol state from a frame: the
+typed payload values (operation lists, vote policies) have to survive
+JSON, and the framing has to reject garbage without reading past a frame
+boundary.
+"""
+
+import pytest
+
+from repro.net.message import Message, MsgType
+from repro.rt.wire import (
+    MAX_FRAME,
+    WireError,
+    decode_frame,
+    encode_frame,
+    message_from_json,
+    message_to_json,
+    op_from_json,
+    op_to_json,
+)
+from repro.txn.operations import ReadOp, SemanticOp, WriteOp
+from repro.txn.transaction import VotePolicy
+
+
+class TestOperations:
+    @pytest.mark.parametrize("op", [
+        ReadOp("k0"),
+        WriteOp("k1", 42),
+        WriteOp("k1", {"nested": [1, 2]}),
+        SemanticOp("withdraw", "k2", {"amount": 30}),
+        SemanticOp("set", "k3", {"value": "dirty"}),
+    ])
+    def test_roundtrip(self, op):
+        assert op_from_json(op_to_json(op)) == op
+
+    def test_unknown_tag_raises(self):
+        with pytest.raises(WireError):
+            op_from_json({"op": "compare-and-swap", "key": "k0"})
+
+
+class TestMessages:
+    def test_subtxn_req_payload_roundtrips(self):
+        message = Message(
+            msg_type=MsgType.SUBTXN_REQ, sender="coord.T1",
+            recipient="S1", txn_id="T1",
+            payload={
+                "ops": [ReadOp("k0"), SemanticOp("withdraw", "k1",
+                                                 {"amount": 5})],
+                "vote": VotePolicy.FORCE_NO,
+                "real_action": True,
+                "transmarks": ["S2"],
+            },
+        )
+        rebuilt = message_from_json(message_to_json(message))
+        assert rebuilt.msg_type is MsgType.SUBTXN_REQ
+        assert rebuilt.sender == "coord.T1"
+        assert rebuilt.recipient == "S1"
+        assert rebuilt.txn_id == "T1"
+        assert rebuilt.payload["ops"] == message.payload["ops"]
+        assert rebuilt.payload["vote"] is VotePolicy.FORCE_NO
+        assert rebuilt.payload["real_action"] is True
+        assert rebuilt.payload["transmarks"] == ["S2"]
+
+    @pytest.mark.parametrize("msg_type", list(MsgType))
+    def test_every_msg_type_roundtrips(self, msg_type):
+        message = Message(
+            msg_type=msg_type, sender="a", recipient="b", txn_id="T",
+            payload={},
+        )
+        assert message_from_json(message_to_json(message)).msg_type is msg_type
+
+    def test_malformed_frame_raises_wire_error(self):
+        with pytest.raises(WireError):
+            message_from_json({"kind": "msg", "type": "NOT_A_TYPE",
+                               "sender": "a", "recipient": "b", "txn": "T"})
+
+
+class TestFraming:
+    def test_encode_decode_roundtrip(self):
+        body = {"kind": "admin", "cmd": "status"}
+        frame = encode_frame(body)
+        length = int.from_bytes(frame[:4], "big")
+        assert length == len(frame) - 4
+        assert decode_frame(frame[4:]) == body
+
+    def test_deterministic_encoding(self):
+        body = {"kind": "msg", "b": 1, "a": 2}
+        assert encode_frame(body) == encode_frame(
+            {"a": 2, "b": 1, "kind": "msg"}
+        )
+
+    def test_oversized_frame_refused(self):
+        with pytest.raises(WireError):
+            encode_frame({"kind": "msg", "blob": "x" * (MAX_FRAME + 1)})
+
+    def test_untagged_body_refused(self):
+        with pytest.raises(WireError):
+            decode_frame(b'{"no": "kind"}')
+
+    def test_non_json_refused(self):
+        with pytest.raises(WireError):
+            decode_frame(b"\x00\x01garbage")

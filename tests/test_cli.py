@@ -126,3 +126,81 @@ def test_report_writes_artifacts(tmp_path, capsys):
         r.measures["max_hold_2pl"] > r.measures["max_hold_o2pc"]
         for r in rows
     )
+
+
+class TestSharedParents:
+    """--seed/--protocol/--backend are one definition shared by every verb.
+
+    The per-verb defaults below pin the argparse pitfall this layout has:
+    ``set_defaults`` mutates ``action.default`` on the shared action
+    object, so parents must be fresh parser instances per subcommand or
+    the last verb's default leaks into all of them.
+    """
+
+    @pytest.mark.parametrize("verb,expected", [
+        (["demo"], {"protocol": "P1"}),
+        (["audit"], {"protocol": "none"}),
+        (["trace"], {"protocol": "P1", "backend": "sim"}),
+        (["metrics"], {"protocol": "P1", "backend": "sim"}),
+        (["check"], {"protocol": "P1", "backend": "sim"}),
+        (["bench"], {"backend": "sim"}),
+        (["serve", "S1", "--cluster", "c.json"],
+         {"protocol": "none", "backend": "net"}),
+        (["client", "--cluster", "c.json"],
+         {"protocol": "none", "backend": "net"}),
+    ])
+    def test_per_verb_defaults_do_not_leak(self, verb, expected):
+        args = build_parser().parse_args(verb)
+        for key, value in expected.items():
+            assert getattr(args, key) == value, (verb, key)
+
+    def test_shared_options_accepted_after_any_verb(self):
+        args = build_parser().parse_args(
+            ["check", "--seed", "9", "--protocol", "P2", "--backend", "sim"]
+        )
+        assert args.seed == 9
+        assert args.protocol == "P2"
+        assert args.backend == "sim"
+
+    @pytest.mark.parametrize("verb", [
+        ["check", "--smoke"],
+        ["bench", "--smoke"],
+        ["trace"],
+        ["metrics"],
+    ])
+    def test_sim_only_verbs_reject_net_backend(self, verb, capsys):
+        code = main([*verb, "--backend", "net"])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "backend 'net' is not supported" in err
+        assert "repro serve" in err
+
+    def test_unknown_backend_rejected_by_parser(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["check", "--backend", "carrier"])
+
+
+class TestServeClientCli:
+    def test_serve_requires_cluster(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["serve", "S1"])
+
+    def test_client_status_unreachable_daemon_fails_cleanly(
+        self, tmp_path, capsys,
+    ):
+        from repro.rt.config import local_cluster
+
+        cluster_file = str(tmp_path / "cluster.json")
+        local_cluster(["S1", "S2"], data_dir=str(tmp_path)).save(cluster_file)
+        code = main(["client", "--cluster", cluster_file, "--status", "S1"])
+        assert code == 1
+        assert "cannot reach S1" in capsys.readouterr().err
+
+    def test_client_transfer_needs_two_sites(self, tmp_path, capsys):
+        from repro.rt.config import local_cluster
+
+        cluster_file = str(tmp_path / "cluster.json")
+        local_cluster(["S1"], data_dir=str(tmp_path)).save(cluster_file)
+        code = main(["client", "--cluster", cluster_file])
+        assert code == 2
+        assert "at least two sites" in capsys.readouterr().err

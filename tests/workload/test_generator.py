@@ -1,7 +1,7 @@
 """Unit and integration tests for the workload generator."""
 
 from repro.commit import CommitScheme
-from repro.harness import System, SystemConfig, collect_metrics
+from repro.harness import System, SystemConfig
 from repro.txn import ReadOp, SemanticOp, WriteOp
 from repro.txn.transaction import VotePolicy
 from repro.workload import WorkloadConfig, WorkloadGenerator
@@ -81,7 +81,7 @@ class TestDriving:
             SystemConfig(n_sites=4, protocol="P1"),
         )
         gen.run()
-        report = collect_metrics(system)
+        report = system.metrics()
         assert report.aborted > 0
         assert report.compensations > 0
         system.check_correctness()
@@ -100,7 +100,7 @@ class TestDriving:
     def test_metrics_report_sane(self):
         system, gen = make(WorkloadConfig(n_transactions=15))
         elapsed = gen.run()
-        report = collect_metrics(system, elapsed=elapsed)
+        report = system.metrics(elapsed=elapsed)
         # A contended workload may lose a few transactions to cross-site
         # deadlocks (resolved by coordinator timeout), never silently.
         assert report.committed + report.aborted == 15
