@@ -144,6 +144,10 @@ class ControlledEnvironment(Environment):
     #: the controlled scheduler is the one consumer of delivery annotations
     annotate_deliveries = True
 
+    #: ``_select`` re-sorts the ready set through ``self._queue`` directly,
+    #: so this subclass keeps the flat-heap kernel (see engine docstring)
+    _FORCE_HEAP = True
+
     def __init__(
         self,
         policy: ChoicePolicy,

@@ -475,9 +475,14 @@ def cmd_bench(args: argparse.Namespace) -> int:
         return failed
     import os
 
-    from repro.harness.bench import compare_to_baseline, run_suite, to_json
+    from repro.harness.bench import (
+        compare_to_baseline, run_scale, run_suite, to_json,
+    )
 
-    payloads = run_suite(smoke=args.smoke, seed=args.seed, jobs=args.jobs)
+    if args.scale:
+        payloads = run_scale(smoke=args.smoke, seed=args.seed)
+    else:
+        payloads = run_suite(smoke=args.smoke, seed=args.seed, jobs=args.jobs)
     os.makedirs(args.out, exist_ok=True)
     for name, payload in payloads.items():
         path = os.path.join(args.out, name)
@@ -764,9 +769,14 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--smoke", action="store_true",
                        help="CI-sized workloads (same metrics, smaller "
                             "pins)")
-    bench.add_argument("--out", default=".",
-                       help="directory for BENCH_check.json / "
-                            "BENCH_sg.json")
+    bench.add_argument("--scale", action="store_true",
+                       help="run the 64-site sharded scale workload "
+                            "instead of the default suite "
+                            "(BENCH_scale.json)")
+    bench.add_argument("--out", default="bench-artifacts",
+                       help="directory for the BENCH_*.json artifacts "
+                            "(matches the CI artifact location; baselines "
+                            "stay in benchmarks/baselines)")
     bench.add_argument("--baseline", default="benchmarks/baselines",
                        help="committed baseline directory for the "
                             "regression gate")

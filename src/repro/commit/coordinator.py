@@ -317,14 +317,24 @@ class Coordinator:
         assert msg_type in self._COLLECTS, (
             f"{msg_type} missing from Coordinator._COLLECTS"
         )
-        deadline = self.env.timeout(timeout)
+        deadline = None
         while True:
             get = self.inbox.get()
-            yield self.env.any_of([get, deadline])
-            if not get.triggered:
-                self.inbox.cancel_get(get)
-                return None
-            msg = get.value
+            if get.triggered:
+                # Fast path: a message was already queued, so take it
+                # directly and skip the timeout/any_of machinery.  No
+                # simulation time passes here, so deferring the deadline
+                # clock until we actually have to wait leaves the expiry
+                # instant unchanged.
+                msg = yield get
+            else:
+                if deadline is None:
+                    deadline = self.env.timeout(timeout)
+                yield self.env.any_of([get, deadline])
+                if not get.triggered:
+                    self.inbox.cancel_get(get)
+                    return None
+                msg = get.value
             if msg.msg_type is msg_type:
                 return msg
 

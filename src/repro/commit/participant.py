@@ -56,6 +56,7 @@ from repro.obs.events import (
     SubtxnRejected,
     SubtxnStarted,
 )
+from repro.sim.process import Process
 from repro.txn.operations import Op
 from repro.txn.site import Site
 from repro.txn.transaction import TxnStatus, VotePolicy
@@ -138,14 +139,21 @@ class Participant:
             handler = handlers.get(msg.msg_type)
             if handler is None:
                 continue
-            proc = self.env.process(
+            # Eager spawn: the handler's first segment runs inline, and a
+            # handler that completes without suspending (VOTE_REQ, duplicate
+            # decisions) never allocates a Process at all.  Only suspended
+            # handlers need crash tracking — a completed one has nothing
+            # left to interrupt.
+            proc = Process.eager(
+                self.env,
                 handler(msg),
                 name=f"{self.site.site_id}:{msg.msg_type.value}:{msg.txn_id}",
             )
-            self._handlers.add(proc)
-            proc.callbacks.append(
-                lambda _evt, p=proc: self._handlers.discard(p)
-            )
+            if proc is not None and proc.is_alive:
+                self._handlers.add(proc)
+                proc.callbacks.append(
+                    lambda _evt, p=proc: self._handlers.discard(p)
+                )
 
     # -- SUBTXN_REQ ----------------------------------------------------------------
 

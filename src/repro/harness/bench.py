@@ -12,6 +12,11 @@ Three workloads, chosen to cover the repo's hot paths end to end:
   view versus the O(n²) pairwise scan it replaced (the scan is capped at
   10⁴ ops — beyond that it is minutes of wall time, which is the point).
 
+A fourth workload lives behind ``repro bench --scale``: ``scale`` runs
+64 sharded sites, 10⁵ transactions, concurrent coordinators, and
+Zipf-skewed hotspots, reporting throughput, the abort/compensation
+census, and lock-hold p50/p99 (``run_scale`` → ``BENCH_scale.json``).
+
 ``run_suite`` returns JSON-ready payloads for ``BENCH_check.json`` and
 ``BENCH_sg.json``.  Regression gating compares only throughput-style
 metrics (``*_per_s``, ``speedup_vs_scan``) against a committed baseline:
@@ -108,6 +113,74 @@ def bench_throughput(
     return {
         "transactions": float(transactions),
         "txns_per_s": transactions / best if best else 0.0,
+        "p50_wall_s": _percentile(walls, 50),
+        "p95_wall_s": _percentile(walls, 95),
+    }
+
+
+# -- workload: 64-site sharded scale -------------------------------------------
+
+
+def bench_scale(
+    seed: int = 0,
+    sites: int = 64,
+    transactions: int = 100_000,
+    keys_per_site: int = 32,
+    repeats: int = 1,
+) -> dict[str, float]:
+    """Wall-clock txns/s of a many-site, Zipf-skewed O2PC workload.
+
+    The scale shape: ``sites`` sites, one coordinator per transaction with
+    many in flight concurrently (mean inter-arrival 0.2 vs. a multi-unit
+    commit latency), and Zipf-skewed key popularity so hot keys contend
+    across shards.  The marking protocol is pinned to ``none``: at this
+    concurrency P1's validation rejects most transactions, which would
+    benchmark the marking protocol rather than the commit hot path (the
+    ``check`` workload covers P1).
+
+    Beyond throughput the payload records the lock-hold tail (p50/p99 of
+    every grant→release interval) and the abort/compensation rates — the
+    paper's cost side of early lock release at scale.
+    """
+    from repro.commit.base import CommitScheme
+    from repro.harness.system import System, SystemConfig
+    from repro.workload.generator import WorkloadConfig, WorkloadGenerator
+
+    walls: list[float] = []
+    last_system: Any = None
+    for _ in range(repeats):
+        system = System(SystemConfig(
+            n_sites=sites, scheme=CommitScheme.O2PC, protocol="none",
+            keys_per_site=keys_per_site, seed=seed,
+        ))
+        gen = WorkloadGenerator(system, WorkloadConfig(
+            n_transactions=transactions, min_sites=2, max_sites=3,
+            abort_probability=0.05, read_fraction=0.5,
+            arrival_mean=0.2, zipf_theta=0.9,
+        ), seed=seed)
+        wall, _ = _timed(gen.run)
+        walls.append(wall)
+        last_system = system
+    best = min(walls)
+    report = last_system.metrics()
+    holds = sorted(
+        h.duration
+        for site in last_system.sites.values()
+        for h in site.locks.hold_log
+    )
+    terminated = report.committed + report.aborted
+    return {
+        "sites": float(sites),
+        "transactions": float(transactions),
+        "txns_per_s": transactions / best if best else 0.0,
+        "committed": float(report.committed),
+        "abort_rate": report.abort_rate,
+        "compensations": float(report.compensations),
+        "compensation_rate": (
+            report.compensations / terminated if terminated else 0.0
+        ),
+        "lock_hold_p50": _percentile(holds, 50) if holds else 0.0,
+        "lock_hold_p99": _percentile(holds, 99) if holds else 0.0,
         "p50_wall_s": _percentile(walls, 50),
         "p95_wall_s": _percentile(walls, 95),
     }
@@ -210,6 +283,21 @@ def run_suite(
         },
         "BENCH_sg.json": {**header, "results": sg},
     }
+
+
+def run_scale(smoke: bool = False, seed: int = 0) -> dict[str, dict[str, Any]]:
+    """The scale workload alone (``repro bench --scale``).
+
+    ``smoke`` keeps the 64-site shape but shrinks the transaction count to
+    CI wall-time; the committed full-size artifact lives in
+    ``benchmarks/BENCH_scale.json``.
+    """
+    if smoke:
+        scale = bench_scale(seed=seed, transactions=1_500, repeats=2)
+    else:
+        scale = bench_scale(seed=seed, transactions=100_000, repeats=1)
+    header = {"schema": SCHEMA_VERSION, "smoke": smoke, "seed": seed}
+    return {"BENCH_scale.json": {**header, "results": {"scale": scale}}}
 
 
 def to_json(payload: dict[str, Any]) -> str:

@@ -44,6 +44,20 @@ class WaitsForGraph:
         """Transactions ``txn_id`` is waiting for."""
         return set(self._edges.get(txn_id, ()))
 
+    def could_cycle(self, waiter: str) -> bool:
+        """Cheap necessary condition for a cycle through ``waiter``.
+
+        A cycle through ``waiter`` needs some successor of ``waiter`` with
+        outgoing edges of its own; most blocks wait only on lock *holders*
+        (which wait on nothing), so this guard skips the DFS entirely for
+        the common case.
+        """
+        edges = self._edges
+        targets = edges.get(waiter)
+        if not targets:
+            return False
+        return any(t in edges for t in targets)
+
     def edges(self) -> list[tuple[str, str]]:
         """All (waiter, holder) edges, sorted for determinism."""
         return sorted(

@@ -21,10 +21,11 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass
+from sys import intern
 
 from repro.errors import DeadlockDetected, LockNotHeld, TwoPhaseViolation
 from repro.locking.deadlock import DeadlockDetector, WaitsForGraph
-from repro.locking.modes import LockMode, compatible_modes, stronger
+from repro.locking.modes import LockMode, stronger
 from repro.obs.events import (
     DeadlockObserved,
     LockGranted,
@@ -36,7 +37,7 @@ from repro.sim.engine import Environment
 from repro.sim.events import Event
 
 
-@dataclass
+@dataclass(slots=True)
 class LockRequest:
     """A queued (blocked) lock request."""
 
@@ -48,7 +49,7 @@ class LockRequest:
     is_upgrade: bool = False
 
 
-@dataclass
+@dataclass(slots=True)
 class HoldRecord:
     """One completed lock-hold interval (for metrics)."""
 
@@ -64,7 +65,7 @@ class HoldRecord:
         return self.released_at - self.granted_at
 
 
-@dataclass
+@dataclass(slots=True)
 class _Grant:
     """A currently held lock."""
 
@@ -103,6 +104,10 @@ class LockManager:
         self.hold_log: list[HoldRecord] = []
         #: per-request wait durations (metrics): (txn, key, wait_time)
         self.wait_log: list[tuple[str, str, float]] = []
+        #: recycled :class:`LockRequest` objects (grant path stays
+        #: allocation-free under contention).  Only used when no timeout
+        #: watchdog can hold a stale reference (``lock_timeout is None``).
+        self._request_pool: list[LockRequest] = []
 
     # -- introspection ---------------------------------------------------------
 
@@ -112,7 +117,10 @@ class LockManager:
 
     def held_mode(self, txn_id: str, key: str) -> LockMode | None:
         """Mode in which ``txn_id`` holds ``key``, or None."""
-        grant = self._holders.get(key, {}).get(txn_id)
+        grants = self._holders.get(key)
+        if not grants:
+            return None
+        grant = grants.get(txn_id)
         return grant.mode if grant else None
 
     def locks_of(self, txn_id: str) -> dict[str, LockMode]:
@@ -135,6 +143,11 @@ class LockManager:
         Immediately-grantable requests return an already-triggered event, so
         a process that yields it continues in the same time step.
         """
+        # Per-site interned tables: every key/txn id that reaches the lock
+        # table is interned, so the dict probes below (and in release /
+        # waits-for bookkeeping) compare by pointer, not by content.
+        txn_id = intern(txn_id)
+        key = intern(key)
         if self.enforce_2pl and txn_id in self._shrinking:
             raise TwoPhaseViolation(
                 f"{txn_id} acquired {key} after releasing a lock (2PL)"
@@ -165,14 +178,24 @@ class LockManager:
                 mode=mode.value, immediate=False,
             ))
 
-        request = LockRequest(
-            txn_id=txn_id,
-            key=key,
-            mode=mode,
-            event=event,
-            requested_at=self.env.now,
-            is_upgrade=is_upgrade,
-        )
+        if self._request_pool and self.lock_timeout is None:
+            # Recycle a retired request object (see the pool comment above).
+            request = self._request_pool.pop()
+            request.txn_id = txn_id
+            request.key = key
+            request.mode = mode
+            request.event = event
+            request.requested_at = self.env.now
+            request.is_upgrade = is_upgrade
+        else:
+            request = LockRequest(
+                txn_id=txn_id,
+                key=key,
+                mode=mode,
+                event=event,
+                requested_at=self.env.now,
+                is_upgrade=is_upgrade,
+            )
         queue = self._queues.setdefault(key, deque())
         if is_upgrade:
             # Upgrades go to the front: they only wait for other holders.
@@ -216,12 +239,16 @@ class LockManager:
     def _grantable(
         self, txn_id: str, key: str, mode: LockMode, is_upgrade: bool
     ) -> bool:
-        holders = self._holders.get(key, {})
-        for holder, grant in holders.items():
-            if holder == txn_id:
-                continue
-            if not compatible_modes(grant.mode, mode):
-                return False
+        holders = self._holders.get(key)
+        if holders:
+            # Inlined compatibility: only S/S coexists, so a conflict is
+            # "either side is not S".
+            requested_shared = mode is LockMode.S
+            for holder, grant in holders.items():
+                if holder == txn_id:
+                    continue
+                if not (requested_shared and grant.mode is LockMode.S):
+                    return False
         if is_upgrade:
             # An upgrade ignores the queue (it has priority) and only needs
             # the other holders gone.
@@ -230,9 +257,10 @@ class LockManager:
         if queue:
             # FIFO fairness: a new request never overtakes a queued one it
             # conflicts with; S may still slip past queued S.
+            requested_shared = mode is LockMode.S
             for queued in queue:
-                if queued.txn_id != txn_id and not compatible_modes(
-                    queued.mode, mode
+                if queued.txn_id != txn_id and not (
+                    requested_shared and queued.mode is LockMode.S
                 ):
                     return False
         return True
@@ -274,8 +302,8 @@ class LockManager:
 
     def release(self, txn_id: str, key: str) -> None:
         """Release one lock; wakes newly grantable waiters."""
-        grants = self._holders.get(key, {})
-        grant = grants.pop(txn_id, None)
+        grants = self._holders.get(key)
+        grant = grants.pop(txn_id, None) if grants else None
         if grant is None:
             raise LockNotHeld(f"{txn_id} does not hold {key}")
         if not grants:
@@ -358,12 +386,15 @@ class LockManager:
         queue = self._queues.get(key)
         if not queue:
             return
+        recyclable = self.lock_timeout is None
         progressed = True
         while progressed and queue:
             progressed = False
             head = queue[0]
             if head.event.triggered:
                 queue.popleft()
+                if recyclable:
+                    self._request_pool.append(head)
                 progressed = True
                 continue
             if self._holders_compatible(head):
@@ -373,6 +404,8 @@ class LockManager:
                 )
                 self.waits_for.remove_waiter(head.txn_id)
                 head.event.succeed((head.key, head.mode))
+                if recyclable:
+                    self._request_pool.append(head)
                 progressed = True
         if not queue:
             self._queues.pop(key, None)
@@ -382,31 +415,39 @@ class LockManager:
             self._record_waits(queue[0])
 
     def _holders_compatible(self, request: LockRequest) -> bool:
-        for holder, grant in self._holders.get(request.key, {}).items():
+        holders = self._holders.get(request.key)
+        if not holders:
+            return True
+        requested_shared = request.mode is LockMode.S
+        for holder, grant in holders.items():
             if holder == request.txn_id:
                 continue
-            if not compatible_modes(grant.mode, request.mode):
+            if not (requested_shared and grant.mode is LockMode.S):
                 return False
         return True
 
     def _record_waits(self, request: LockRequest) -> None:
+        holders = self._holders.get(request.key)
+        requested_shared = request.mode is LockMode.S
         blockers = [
             holder
-            for holder, grant in self._holders.get(request.key, {}).items()
+            for holder, grant in (holders.items() if holders else ())
             if holder != request.txn_id
-            and not compatible_modes(grant.mode, request.mode)
+            and not (requested_shared and grant.mode is LockMode.S)
         ]
         queue = self._queues.get(request.key, ())
         for queued in queue:
             if queued is request:
                 break
-            if queued.txn_id != request.txn_id and not compatible_modes(
-                queued.mode, request.mode
+            if queued.txn_id != request.txn_id and not (
+                requested_shared and queued.mode is LockMode.S
             ):
                 blockers.append(queued.txn_id)
         self.waits_for.add_wait(request.txn_id, blockers)
 
     def _detect_deadlock(self, request: LockRequest) -> None:
+        if not self.waits_for.could_cycle(request.txn_id):
+            return
         victim = self.detector.check(request.txn_id)
         if victim is None:
             return

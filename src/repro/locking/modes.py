@@ -17,11 +17,12 @@ class LockMode(enum.Enum):
 
     def __lt__(self, other: "LockMode") -> bool:
         # S < X: used when picking the strongest requested/held mode.
-        order = {LockMode.S: 0, LockMode.X: 1}
-        return order[self] < order[other]
+        return self is LockMode.S and other is LockMode.X
 
 
-#: compatibility[(held, requested)] — True when the pair can coexist
+#: compatibility[(held, requested)] — True when the pair can coexist.
+#: With two modes the whole matrix collapses to "only S/S coexists";
+#: kept as data for documentation and the table-driven tests.
 _COMPAT: dict[tuple[LockMode, LockMode], bool] = {
     (LockMode.S, LockMode.S): True,
     (LockMode.S, LockMode.X): False,
@@ -31,8 +32,12 @@ _COMPAT: dict[tuple[LockMode, LockMode], bool] = {
 
 
 def compatible_modes(held: LockMode, requested: LockMode) -> bool:
-    """True when ``requested`` can be granted alongside ``held``."""
-    return _COMPAT[(held, requested)]
+    """True when ``requested`` can be granted alongside ``held``.
+
+    Hot-path form of the ``_COMPAT`` table: two identity checks instead of
+    a tuple allocation plus enum-keyed dict probe.
+    """
+    return held is LockMode.S and requested is LockMode.S
 
 
 def stronger(a: LockMode, b: LockMode) -> LockMode:

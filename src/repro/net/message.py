@@ -52,7 +52,7 @@ class Decision(enum.Enum):
 _seq = itertools.count(1)
 
 
-@dataclass
+@dataclass(slots=True)
 class Message:
     """A single message on the wire.
 

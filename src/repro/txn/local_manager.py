@@ -29,12 +29,16 @@ from typing import TYPE_CHECKING, Any
 from repro.errors import InvalidTransactionState, TransactionAborted
 from repro.ids import compensation_id
 from repro.locking.modes import LockMode
+from repro.storage.kvstore import TOMBSTONE
 from repro.storage.wal import RecordType
 from repro.txn.operations import Op, ReadOp, SemanticOp, WriteOp
 from repro.txn.transaction import TxnStatus
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.txn.site import Site
+
+#: sentinel: "no precomputed before-image" (None is a real image)
+_MISSING = object()
 
 
 class LocalTransactionManager:
@@ -91,10 +95,15 @@ class LocalTransactionManager:
             return value
         if isinstance(op, WriteOp):
             yield from self._acquire(txn_id, op.key, LockMode.X)
+            # One store lookup serves both undo structures: the captured
+            # image goes into the undo program (None = "key was absent",
+            # undone by the delete path) and, untranslated, into the WAL
+            # record as the before-image.
+            before = self.site.store.snapshot_read(op.key)
             self._undo_program[txn_id].append(
-                WriteOp(op.key, self.site.store.get_or(op.key))
+                WriteOp(op.key, None if before is TOMBSTONE else before)
             )
-            self._logged_write(txn_id, op.key, op.value)
+            self._logged_write(txn_id, op.key, op.value, before)
             return op.value
         if isinstance(op, SemanticOp):
             yield from self._acquire(txn_id, op.key, LockMode.X)
@@ -142,8 +151,11 @@ class LocalTransactionManager:
             results.append(result)
         return results
 
-    def _logged_write(self, txn_id: str, key: str, value: Any) -> None:
-        before = self.site.store.snapshot_value(key)
+    def _logged_write(
+        self, txn_id: str, key: str, value: Any, before: Any = _MISSING
+    ) -> None:
+        if before is _MISSING:
+            before = self.site.store.snapshot_value(key)
         self.site.wal.append(
             RecordType.UPDATE, txn_id, key=key, before=before, after=value,
         )

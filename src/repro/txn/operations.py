@@ -16,7 +16,7 @@ from dataclasses import dataclass, field
 from typing import Any, Union
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class ReadOp:
     """Read the value of ``key`` (shared lock)."""
 
@@ -26,7 +26,7 @@ class ReadOp:
         return f"r[{self.key}]"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class WriteOp:
     """Write ``value`` to ``key`` (exclusive lock)."""
 
@@ -37,7 +37,7 @@ class WriteOp:
         return f"w[{self.key}={self.value!r}]"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class SemanticOp:
     """Apply the registered semantic operation ``name`` to ``key``.
 

@@ -13,6 +13,7 @@ from repro.harness.bench import (
     GATED_METRICS,
     _percentile,
     bench_check,
+    bench_scale,
     bench_sg,
     bench_throughput,
     compare_to_baseline,
@@ -42,6 +43,17 @@ class TestWorkloads:
         metrics = bench_throughput(transactions=5, repeats=1)
         assert metrics["transactions"] == 5.0
         assert metrics["txns_per_s"] > 0
+
+    def test_bench_scale_tiny(self):
+        metrics = bench_scale(
+            sites=4, transactions=20, keys_per_site=8, repeats=1,
+        )
+        assert metrics["sites"] == 4.0
+        assert metrics["transactions"] == 20.0
+        assert metrics["txns_per_s"] > 0
+        assert metrics["committed"] > 0
+        assert 0.0 <= metrics["abort_rate"] <= 1.0
+        assert metrics["lock_hold_p50"] <= metrics["lock_hold_p99"]
 
     def test_bench_sg_tiny_cross_checks_scan(self):
         # scan_cap >= size, so the index/scan equality assertion runs.
@@ -144,6 +156,24 @@ class TestBenchCli:
         out = capsys.readouterr().out
         assert "PERF REGRESSION" in out
         assert "check.schedules_per_s" in out
+
+    def test_scale_flag_runs_scale_workload(self, tmp_path, monkeypatch,
+                                            capsys):
+        def stub_scale(smoke=False, seed=0):
+            return {
+                "BENCH_scale.json": {
+                    "schema": 1, "smoke": smoke, "seed": seed,
+                    "results": {"scale": {"txns_per_s": 1000.0}},
+                },
+            }
+
+        monkeypatch.setattr("repro.harness.bench.run_scale", stub_scale)
+        assert self._bench(tmp_path, "--scale") == 0
+        written = json.loads(
+            (tmp_path / "out" / "BENCH_scale.json").read_text()
+        )
+        assert written["results"]["scale"]["txns_per_s"] == 1000.0
+        assert not (tmp_path / "out" / "BENCH_check.json").exists()
 
     def test_missing_baseline_skips_gate(self, tmp_path, monkeypatch,
                                          capsys):

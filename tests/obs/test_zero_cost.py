@@ -28,7 +28,7 @@ def _send_one(env):
 
 
 def _queued_events(env):
-    return [event for _when, _prio, _eid, event in env._queue]
+    return list(env.queued_events())
 
 
 class TestDeliveryAnnotations:

@@ -1,0 +1,111 @@
+#!/usr/bin/env python
+"""Profile the simulator hot path (cProfile + optional tracemalloc).
+
+Runs the pinned ``bench_throughput`` workload (or ``bench_scale`` with
+``--scale``) under cProfile and prints the top functions by cumulative
+and internal time — the table the before/after sections of
+``docs/PERFORMANCE.md`` are built from.  ``--memory`` additionally runs
+the workload once under tracemalloc and prints the top allocation sites,
+which is how the allocation-free locking and ``__slots__`` work was
+targeted.
+
+The profiled throughput number is *not* comparable to ``repro bench``
+output: cProfile's tracing overhead roughly triples the wall time.
+Always quote clean ``repro bench`` numbers; use this tool only to rank
+where the time and allocations go.
+
+Usage::
+
+    PYTHONPATH=src python tools/profile_hotpath.py [--scale]
+        [--transactions N] [--memory] [--top N] [--out FILE]
+"""
+
+from __future__ import annotations
+
+import argparse
+import cProfile
+import io
+import pstats
+import sys
+
+
+def _run_workload(args: argparse.Namespace) -> None:
+    from repro.harness.bench import bench_scale, bench_throughput
+
+    if args.scale:
+        bench_scale(
+            sites=args.sites, transactions=args.transactions, repeats=1,
+        )
+    else:
+        bench_throughput(transactions=args.transactions, repeats=1)
+
+
+def _warmup() -> None:
+    """Import and touch everything once so the profile shows the hot
+    path, not module import and dataclass machinery."""
+    from repro.harness.bench import bench_throughput
+
+    bench_throughput(transactions=2, repeats=1)
+
+
+def profile_time(args: argparse.Namespace) -> str:
+    _warmup()
+    profiler = cProfile.Profile()
+    profiler.enable()
+    _run_workload(args)
+    profiler.disable()
+
+    out = io.StringIO()
+    stats = pstats.Stats(profiler, stream=out)
+    stats.strip_dirs()
+    for sort in ("cumulative", "tottime"):
+        out.write(f"\n== top {args.top} by {sort} ==\n")
+        stats.sort_stats(sort).print_stats(args.top)
+    return out.getvalue()
+
+
+def profile_memory(args: argparse.Namespace) -> str:
+    import tracemalloc
+
+    tracemalloc.start(25)
+    _run_workload(args)
+    snapshot = tracemalloc.take_snapshot()
+    tracemalloc.stop()
+
+    lines = [f"\n== top {args.top} allocation sites ==\n"]
+    for stat in snapshot.statistics("lineno")[:args.top]:
+        lines.append(f"{stat}\n")
+    return "".join(lines)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--scale", action="store_true",
+                        help="profile bench_scale instead of "
+                             "bench_throughput")
+    parser.add_argument("--sites", type=int, default=64,
+                        help="sites for --scale (default 64)")
+    parser.add_argument("--transactions", type=int, default=100,
+                        help="transactions per run (default 100)")
+    parser.add_argument("--memory", action="store_true",
+                        help="also profile allocations with tracemalloc")
+    parser.add_argument("--top", type=int, default=20,
+                        help="rows per table (default 20)")
+    parser.add_argument("--out", default=None,
+                        help="also write the report to this file")
+    args = parser.parse_args(argv)
+
+    report = profile_time(args)
+    if args.memory:
+        report += profile_memory(args)
+
+    print(report)
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            handle.write(report)
+        print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
