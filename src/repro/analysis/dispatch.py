@@ -28,11 +28,18 @@ Rules:
 ``dispatch/runtime-mismatch``
     The networked runtime's wire entry points (``SiteDaemon._INBOUND``,
     ``NetClient._INBOUND``) disagree with the simulation-side dispatch
-    surfaces they must mirror (``Participant._HANDLERS``,
-    ``Coordinator._COLLECTS``).  The daemon and client run the *same*
-    protocol engines over TCP; a type accepted in one world and not the
-    other is a frame that commits in the simulator and vanishes in
-    production (or vice versa).
+    surfaces they must mirror — the *union* of every participant-side
+    engine's ``_HANDLERS`` (base, Paxos, Short, plus the acceptor the
+    daemon co-hosts) and of every coordinator-side engine's ``_COLLECTS``.
+    The daemon and client run the *same* protocol engines over TCP; a type
+    accepted in one world and not the other is a frame that commits in the
+    simulator and vanishes in production (or vice versa).
+
+``dispatch/missing-engine``
+    A :class:`~repro.commit.base.CommitScheme` member has no engine
+    registered in :mod:`repro.protocols` — a scheme added to the enum but
+    not to the registry would pass configuration validation and then crash
+    (or worse, silently fall back) at system construction.
 """
 
 from __future__ import annotations
@@ -115,22 +122,36 @@ def _declaration(
     )
 
 
+#: a dispatch declaration site: (file, class name, attribute name)
+Surface = tuple[Path, str, str]
+
+
 def analyze_dispatch(
     message_path: Path,
     coordinator_path: Path,
     participant_path: Path,
+    extra_surfaces: tuple[Surface, ...] = (),
 ) -> list[Finding]:
-    """Exhaustiveness of the coordinator + participant receive surfaces."""
+    """Exhaustiveness of the coordinator + participant receive surfaces.
+
+    ``extra_surfaces`` adds the competitor engines' declarations (Paxos
+    coordinator/participant, acceptor, Short participant) to the receivable
+    set; each is also individually checked for unknown members and
+    duplicates.
+    """
     members = enum_members(message_path)
     member_names = {name for name, _ in members}
     handled = _declaration(participant_path, "Participant", "_HANDLERS")
     collected = _declaration(coordinator_path, "Coordinator", "_COLLECTS")
-
-    findings: list[Finding] = []
-    for declared, source_path in (
+    surfaces: list[tuple[list[tuple[str, int]], Path]] = [
         (handled, participant_path),
         (collected, coordinator_path),
-    ):
+    ]
+    for path, class_name, attr_name in extra_surfaces:
+        surfaces.append((_declaration(path, class_name, attr_name), path))
+
+    findings: list[Finding] = []
+    for declared, source_path in surfaces:
         seen: set[str] = set()
         for name, lineno in declared:
             location = f"{source_path.name}:{lineno}"
@@ -155,9 +176,9 @@ def analyze_dispatch(
                 ))
             seen.add(name)
 
-    receivable = {name for name, _ in handled} | {
-        name for name, _ in collected
-    }
+    receivable: set[str] = set()
+    for declared, _source_path in surfaces:
+        receivable.update(name for name, _ in declared)
     for name, lineno in members:
         if name not in receivable:
             findings.append(Finding(
@@ -180,23 +201,45 @@ def analyze_runtime_dispatch(
     participant_path: Path,
     daemon_path: Path,
     client_path: Path,
+    extra_participant_surfaces: tuple[Surface, ...] = (),
+    extra_coordinator_surfaces: tuple[Surface, ...] = (),
 ) -> list[Finding]:
-    """The runtime's wire entry points mirror the sim dispatch surfaces."""
+    """The runtime's wire entry points mirror the sim dispatch surfaces.
+
+    The daemon hosts every participant-side engine (plus the co-hosted
+    acceptor), the client every coordinator-side engine, so each
+    ``_INBOUND`` must equal the *union* of its engines' declarations.
+    """
     member_names = {name for name, _ in enum_members(message_path)}
+
+    def union(
+        base: list[tuple[str, int]], extras: tuple[Surface, ...]
+    ) -> list[tuple[str, int]]:
+        merged = list(base)
+        for path, class_name, attr_name in extras:
+            merged.extend(_declaration(path, class_name, attr_name))
+        return merged
+
     pairs = (
         (
             _declaration(daemon_path, "SiteDaemon", "_INBOUND"),
             daemon_path,
             "SiteDaemon._INBOUND",
-            _declaration(participant_path, "Participant", "_HANDLERS"),
-            "Participant._HANDLERS",
+            union(
+                _declaration(participant_path, "Participant", "_HANDLERS"),
+                extra_participant_surfaces,
+            ),
+            "the participant-side _HANDLERS union",
         ),
         (
             _declaration(client_path, "NetClient", "_INBOUND"),
             client_path,
             "NetClient._INBOUND",
-            _declaration(coordinator_path, "Coordinator", "_COLLECTS"),
-            "Coordinator._COLLECTS",
+            union(
+                _declaration(coordinator_path, "Coordinator", "_COLLECTS"),
+                extra_coordinator_surfaces,
+            ),
+            "the coordinator-side _COLLECTS union",
         ),
     )
 
@@ -252,6 +295,34 @@ def analyze_runtime_dispatch(
                     f"{mirrored_name} handles MsgType.{name} but "
                     f"{inbound_name} does not list it — over TCP that "
                     f"message can never reach its handler"
+                ),
+                anchor=_ANCHOR,
+            ))
+    return findings
+
+
+def analyze_engines() -> list[Finding]:
+    """Every :class:`CommitScheme` member has a registered engine.
+
+    This is the one check in the family that imports the runtime instead
+    of reading the AST: the registry *is* runtime state (populated by
+    module import), and importing it is exactly what the harness does —
+    so a member missing here is a member the harness cannot construct.
+    """
+    from repro.commit.base import CommitScheme
+    from repro.protocols import ENGINES
+
+    findings: list[Finding] = []
+    for scheme in CommitScheme:
+        if scheme not in ENGINES:
+            findings.append(Finding(
+                rule="dispatch/missing-engine",
+                severity=Severity.ERROR,
+                location=f"base.py:CommitScheme.{scheme.name}",
+                message=(
+                    f"CommitScheme.{scheme.name} has no engine registered "
+                    f"in repro.protocols — the harness cannot construct a "
+                    f"system for it"
                 ),
                 anchor=_ANCHOR,
             ))

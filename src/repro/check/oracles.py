@@ -19,6 +19,12 @@ component and reports :class:`Violation`\\ s.  The mapping to the paper:
 * ``recovery`` — Section 5: restarting every site from its (cloned) log must
   reproduce the live store, and under O2PC must report *no in-doubt
   transactions* — the non-blocking property that motivates the protocol.
+* ``nonblocking`` — Paxos Commit's defining guarantee: when a coordinator
+  stays down well past the decision timeout, every participant that voted
+  YES must still reach a decision within a bounded budget of the crash (the
+  termination protocol needs only an acceptor majority).  2PC-family
+  schemes legitimately block in that window, so the oracle applies to
+  PAXOS only.
 * ``liveness`` — every submitted transaction terminated before the event
   queue drained (checked by the explorer, which owns the process handles).
 
@@ -65,6 +71,7 @@ def run_oracles(system: System, strict: bool = False) -> list[Violation]:
         ("atomicity", lambda: _check_atomicity(system)),
         ("marking", lambda: _check_marking(system)),
         ("recovery", lambda: _check_recovery(system)),
+        ("nonblocking", lambda: _check_nonblocking(system)),
     )
     for name, check in checks:
         try:
@@ -210,6 +217,63 @@ def _check_recovery(system: System) -> list[Violation]:
                     "recovery",
                     f"replaying {site_id}'s log yields {key}={value!r} "
                     f"but the live store holds {live!r}",
+                ))
+    return violations
+
+
+# -- non-blocking termination (Paxos Commit) ---------------------------------------
+
+
+#: slack on top of ``paxos_decision_timeout`` before a missing decision
+#: counts as blocking: watchdog stagger across participants, a couple of
+#: termination rounds at unit latency, and one participant crash/recover
+#: cycle injected by the enumerator mid-window
+_NONBLOCKING_SLACK = 60.0
+
+
+def _check_nonblocking(system: System) -> list[Violation]:
+    """Decisions must not wait for the crashed coordinator (PAXOS only).
+
+    For every coordinator outage that lasted at least the decision budget
+    (``paxos_decision_timeout`` + slack), each participant that voted YES
+    on that transaction must have applied a decision before the budget ran
+    out.  Shorter outages are vacuous: the coordinator came back in time
+    to finish the protocol itself, so no termination duty arises.
+    """
+    if system.config.scheme is not CommitScheme.PAXOS:
+        return []
+    violations: list[Violation] = []
+    budget = (
+        system.config.commit.paxos_decision_timeout + _NONBLOCKING_SLACK
+    )
+    for outage in system.failures.outages:
+        if not outage.site_id.startswith("coord."):
+            continue
+        txn_id = outage.site_id[len("coord."):]
+        deadline = outage.start + budget
+        end = float("inf") if outage.end is None else outage.end
+        if end < deadline:
+            continue
+        for site_id in sorted(system.participants):
+            state = system.participants[site_id].subtxns.get(txn_id)
+            if state is None or state.voted != "YES":
+                continue
+            if state.decided is None:
+                violations.append(Violation(
+                    "nonblocking",
+                    f"{site_id} voted YES on {txn_id} but never decided "
+                    f"although its coordinator was down from "
+                    f"{outage.start:g} past the termination budget "
+                    f"(t={deadline:g}) — Paxos Commit must not block",
+                ))
+            elif state.decided_at is not None and state.decided_at > deadline:
+                violations.append(Violation(
+                    "nonblocking",
+                    f"{site_id} decided {txn_id} only at "
+                    f"t={state.decided_at:g}, after the termination budget "
+                    f"(t={deadline:g}) of the coordinator outage starting "
+                    f"at {outage.start:g} — it blocked on recovery instead "
+                    "of running the termination protocol",
                 ))
     return violations
 

@@ -15,6 +15,13 @@ is that the *conflict structure* covers the paper's danger cases:
 * ``duel`` — two writers crossing: ``T1`` writes ``S1`` then ``S2``, ``T2``
   writes ``S2`` then ``S1``, both forced to abort at their second site; both
   compensations race each other and any reader of the marking state.
+* ``crashcoord`` — the blocking drill: a two-site transfer whose coordinator
+  crashes *after the votes land but before any decision*, and stays down far
+  longer than every protocol timeout (with one acceptor down too, so Paxos
+  must decide from a bare 2-of-3 quorum).  Under PAXOS the participants'
+  termination protocol must reach a decision during the outage — the
+  non-blocking oracle asserts exactly that; 2PC-family schemes legitimately
+  sit in doubt until the coordinator returns.
 
 Commit timeouts are compressed relative to the library defaults so a single
 run stays short, but the decision-retransmission window (``decision_retries
@@ -30,6 +37,7 @@ from typing import Callable
 from repro.commit.base import CommitConfig, CommitScheme
 from repro.core.protocols import MarkingProtocol
 from repro.harness.system import PROTOCOLS, System, SystemConfig
+from repro.net.failures import CrashPlan
 from repro.net.network import LatencyModel
 from repro.sim.process import Process
 from repro.txn.operations import ReadOp, WriteOp
@@ -98,6 +106,30 @@ def _build_duel(system: System) -> list[Process]:
     ]
 
 
+#: when the crashcoord coordinator goes down (after votes, before decision;
+#: with unit latency votes land by ~6) and for how long (far beyond every
+#: protocol timeout, so only a termination protocol can decide in time)
+_CRASHCOORD_AT = 6.2
+_CRASHCOORD_OUTAGE = 400.0
+
+
+def _build_crashcoord(system: System) -> list[Process]:
+    # One acceptor down from the start: the ensemble must decide from a
+    # bare majority (harmless under non-PAXOS schemes — the endpoint is
+    # simply never addressed).
+    system.failures.schedule(
+        CrashPlan("acc.3", at=0.5, duration=_CRASHCOORD_OUTAGE)
+    )
+    system.failures.schedule(CrashPlan(
+        "coord.T1", at=_CRASHCOORD_AT, duration=_CRASHCOORD_OUTAGE,
+    ))
+    t1 = GlobalTxnSpec("T1", [
+        SubtxnSpec("S1", [WriteOp("k0", 1)]),
+        SubtxnSpec("S2", [WriteOp("k1", 1)]),
+    ])
+    return [system.submit(t1)]
+
+
 SCENARIOS: dict[str, Scenario] = {
     scenario.name: scenario
     for scenario in (
@@ -114,6 +146,14 @@ SCENARIOS: dict[str, Scenario] = {
             n_sites=2,
             txn_ids=("T1", "T2"),
             build=_build_duel,
+        ),
+        Scenario(
+            name="crashcoord",
+            description="coordinator down after the votes, one acceptor "
+            "down throughout",
+            n_sites=2,
+            txn_ids=("T1",),
+            build=_build_crashcoord,
         ),
     )
 }
@@ -185,6 +225,12 @@ def make_system_config(
             decision_retries=5,
             decision_log_delay=0.5,
             sequential_spawn=True,
+            # Competitor-scheme knobs, compressed like the 2PC timeouts:
+            # a Paxos watchdog that waited the library-default 60 units
+            # would outlast the whole run.
+            paxos_acceptors=3,
+            paxos_decision_timeout=10.0,
+            short_dependency_timeout=25.0,
         ),
         observability=True,
     )

@@ -21,6 +21,12 @@ Commands:
 * ``bench`` — the pinned performance workloads: checker schedules/s,
   simulator txns/s, and SG-build times, written as ``BENCH_*.json`` and
   gated against the committed baselines in ``benchmarks/baselines/``;
+* ``compare`` — every registered commit scheme (O2PC, 2PC/2PL, Paxos
+  Commit, Short-Commit) over identical seeded workloads plus the
+  coordinator-crash drill: blocking time, lock-hold tail, abort and
+  compensation rates, messages per transaction (``BENCH_compare.json``,
+  gated like ``bench``; ``--vote-timeout`` sweeps the collection
+  timeout);
 * ``lint`` — the static compensation-soundness and determinism analyzers:
   repertoire inverse closure, Theorem 2 write coverage, commutativity /
   stratification preconditions, the determinism lint over the sources, and
@@ -297,7 +303,7 @@ def cmd_report(args: argparse.Namespace) -> int:
 def _observed_run(args: argparse.Namespace) -> tuple[System, "WorkloadGenerator"]:
     """A system with observability on plus its (unrun) workload generator."""
     system = System(SystemConfig(
-        n_sites=args.sites, scheme=CommitScheme.O2PC,
+        n_sites=args.sites, scheme=CommitScheme[args.scheme],
         protocol=args.protocol, seed=args.seed, observability=True,
         metrics_window=getattr(args, "window", 10.0),
     ))
@@ -395,6 +401,7 @@ def cmd_check(args: argparse.Namespace) -> int:
     config = CheckConfig(
         scenario=args.scenario,
         protocol=args.protocol,
+        scheme=CommitScheme[args.scheme],
         seed=args.seed,
         depth=args.depth,
         crashes=args.crashes,
@@ -432,8 +439,8 @@ def cmd_check(args: argparse.Namespace) -> int:
     mode = f"bounded({config.bounded})" if config.bounded else "dfs"
     print(
         f"scenario={config.scenario} protocol={config.protocol} "
-        f"mode={mode} depth={config.depth} crashes={config.crashes} "
-        f"prune={config.prune} jobs={config.jobs}"
+        f"scheme={config.scheme.name} mode={mode} depth={config.depth} "
+        f"crashes={config.crashes} prune={config.prune} jobs={config.jobs}"
     )
     print(
         f"explored {report.explored} distinct schedules in "
@@ -509,6 +516,74 @@ def cmd_bench(args: argparse.Namespace) -> int:
     regressions: list[str] = []
     import json as _json
 
+    for name, payload in payloads.items():
+        path = os.path.join(args.baseline, name)
+        if not os.path.exists(path):
+            print(f"no baseline {path}; skipping gate for {name}")
+            continue
+        with open(path, encoding="utf-8") as handle:
+            baseline = _json.load(handle)
+        regressions.extend(
+            compare_to_baseline(payload, baseline, args.tolerance)
+        )
+    if regressions:
+        print("PERF REGRESSION:")
+        for line in regressions:
+            print(f"  {line}")
+        return 1
+    print(f"within {args.tolerance:.0%} of baseline")
+    return 0
+
+
+def cmd_compare(args: argparse.Namespace) -> int:
+    """Head-to-head commit-scheme comparison; writes BENCH_compare.json.
+
+    Every registered scheme runs the same seeded contention workload and
+    the same coordinator-crash drill (see :mod:`repro.harness.compare`).
+    ``--vote-timeout`` (repeatable) sweeps the coordinator's vote-collection
+    timeout across every scheme.  Gated against the committed baseline
+    exactly like ``repro bench``.
+    """
+    failed = _require_backend(args, "sim")
+    if failed is not None:
+        return failed
+    import json as _json
+    import os
+
+    from repro.harness.bench import compare_to_baseline, to_json
+    from repro.harness.compare import run_compare
+
+    payloads = run_compare(
+        smoke=args.smoke, seed=args.seed,
+        vote_timeouts=tuple(args.vote_timeout or ()),
+    )
+    os.makedirs(args.out, exist_ok=True)
+    for name, payload in payloads.items():
+        path = os.path.join(args.out, name)
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(to_json(payload))
+        print(f"wrote {path}")
+        for block, metrics in sorted(payload["results"].items()):
+            print(
+                f"  {block}: txns_per_s={metrics['txns_per_s']:.1f}  "
+                f"msgs/txn={metrics['messages_per_txn']:.1f}  "
+                f"abort={metrics['abort_rate']:.2f}  "
+                f"comp={metrics['compensation_rate']:.2f}  "
+                f"hold_p99={metrics['lock_hold_p99']:.1f}  "
+                f"blocking={metrics['blocking_time']:.1f}"
+                f"{' (decided in outage)' if metrics['decided_in_outage'] else ''}"
+            )
+
+    if args.update_baseline:
+        os.makedirs(args.baseline, exist_ok=True)
+        for name, payload in payloads.items():
+            path = os.path.join(args.baseline, name)
+            with open(path, "w", encoding="utf-8") as handle:
+                handle.write(to_json(payload))
+            print(f"baseline updated: {path}")
+        return 0
+
+    regressions: list[str] = []
     for name, payload in payloads.items():
         path = os.path.join(args.baseline, name)
         if not os.path.exists(path):
@@ -680,6 +755,15 @@ def build_parser() -> argparse.ArgumentParser:
         )
         return p
 
+    def scheme_parent() -> argparse.ArgumentParser:
+        p = argparse.ArgumentParser(add_help=False)
+        p.add_argument(
+            "--scheme", default=argparse.SUPPRESS,
+            choices=sorted(s.name for s in CommitScheme),
+            help="commit scheme (engine registry)",
+        )
+        return p
+
     sub = parser.add_subparsers(dest="command", required=True)
 
     demo = sub.add_parser("demo", parents=[seed_parent(), protocol_parent()],
@@ -707,17 +791,20 @@ def build_parser() -> argparse.ArgumentParser:
     audit.set_defaults(fn=cmd_audit, protocol="none")
 
     trace = sub.add_parser(
-        "trace", parents=[seed_parent(), protocol_parent(), backend_parent()],
+        "trace", parents=[seed_parent(), protocol_parent(), backend_parent(),
+                          scheme_parent()],
         help="emit a deterministic JSONL event trace",
     )
     trace.add_argument("--transactions", type=int, default=20)
     trace.add_argument("--sites", type=int, default=3)
     trace.add_argument("--out", default=None,
                        help="write JSONL here instead of stdout")
-    trace.set_defaults(fn=cmd_trace, protocol="P1", backend="sim")
+    trace.set_defaults(fn=cmd_trace, protocol="P1", backend="sim",
+                       scheme="O2PC")
 
     metrics = sub.add_parser(
-        "metrics", parents=[seed_parent(), protocol_parent(), backend_parent()],
+        "metrics", parents=[seed_parent(), protocol_parent(), backend_parent(),
+                            scheme_parent()],
         help="streaming metrics over a workload",
     )
     metrics.add_argument("--transactions", type=int, default=40)
@@ -725,14 +812,16 @@ def build_parser() -> argparse.ArgumentParser:
     metrics.add_argument("--watch", action="store_true",
                          help="print one snapshot per simulation window")
     metrics.add_argument("--window", type=_positive_float, default=10.0)
-    metrics.set_defaults(fn=cmd_metrics, protocol="P1", backend="sim")
+    metrics.set_defaults(fn=cmd_metrics, protocol="P1", backend="sim",
+                         scheme="O2PC")
 
     check = sub.add_parser(
-        "check", parents=[seed_parent(), protocol_parent(), backend_parent()],
+        "check", parents=[seed_parent(), protocol_parent(), backend_parent(),
+                          scheme_parent()],
         help="model-check protocol schedules and crash points",
     )
     check.add_argument("--scenario", default="conflict",
-                       choices=["conflict", "duel"])
+                       choices=["conflict", "crashcoord", "duel"])
     check.add_argument("--depth", type=int, default=12,
                        help="choice points eligible for DFS branching")
     check.add_argument("--crashes", type=int, default=0,
@@ -760,7 +849,8 @@ def build_parser() -> argparse.ArgumentParser:
     check.add_argument("--replay", default=None, metavar="V0,V1,...",
                        help="replay one choice vector; prints its JSONL "
                             "trace")
-    check.set_defaults(fn=cmd_check, protocol="P1", backend="sim")
+    check.set_defaults(fn=cmd_check, protocol="P1", backend="sim",
+                       scheme="O2PC")
 
     bench = sub.add_parser(
         "bench", parents=[seed_parent(), backend_parent()],
@@ -788,6 +878,29 @@ def build_parser() -> argparse.ArgumentParser:
                        help="worker processes for the check workload")
     bench.set_defaults(fn=cmd_bench, backend="sim")
 
+    compare = sub.add_parser(
+        "compare", parents=[seed_parent(), backend_parent()],
+        help="head-to-head commit schemes; BENCH_compare.json + gate",
+    )
+    compare.add_argument("--smoke", action="store_true",
+                         help="CI-sized workload (same metrics, smaller "
+                              "pins)")
+    compare.add_argument("--vote-timeout", type=_positive_float,
+                         action="append", metavar="UNITS",
+                         help="sweep the coordinator's vote-collection "
+                              "timeout (repeatable; one result block per "
+                              "scheme x value)")
+    compare.add_argument("--out", default="bench-artifacts",
+                         help="directory for BENCH_compare.json")
+    compare.add_argument("--baseline", default="benchmarks/baselines",
+                         help="committed baseline directory for the "
+                              "regression gate")
+    compare.add_argument("--tolerance", type=_positive_float, default=0.25,
+                         help="allowed fractional drop in gated metrics")
+    compare.add_argument("--update-baseline", action="store_true",
+                         help="rewrite the baseline file from this run")
+    compare.set_defaults(fn=cmd_compare, backend="sim")
+
     lint = sub.add_parser(
         "lint",
         help="static compensation-soundness + determinism analyzers",
@@ -807,7 +920,7 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--cluster", required=True,
                        help="cluster file (site addresses + data_dir)")
     serve.add_argument("--scheme", default="O2PC",
-                       choices=["O2PC", "TWO_PL"])
+                       choices=sorted(s.name for s in CommitScheme))
     serve.add_argument("--time-scale", type=_positive_float, default=0.01,
                        help="real seconds per simulation unit")
     serve.add_argument("--keys", type=int, default=20,
@@ -827,7 +940,7 @@ def build_parser() -> argparse.ArgumentParser:
     client.add_argument("--shutdown", metavar="SITE", default=None,
                         help="ask one daemon to shut down cleanly")
     client.add_argument("--scheme", default="O2PC",
-                        choices=["O2PC", "TWO_PL"])
+                        choices=sorted(s.name for s in CommitScheme))
     client.add_argument("--txn", default="T1", help="transaction id")
     client.add_argument("--key", default="k0",
                         help="key moved by the transfer demo")

@@ -7,12 +7,23 @@ from dataclasses import dataclass
 
 
 class CommitScheme(enum.Enum):
-    """Which commit protocol participants run."""
+    """Which commit protocol participants run.
+
+    Every member must have an engine registered in
+    :mod:`repro.protocols` (``repro lint`` enforces this).
+    """
 
     #: standard 2PC + strict distributed 2PL (locks held until decision)
     TWO_PL = "2PL"
     #: optimistic 2PC (locks released at YES vote; compensation on abort)
     O2PC = "O2PC"
+    #: Paxos Commit (Gray & Lamport): one consensus instance per
+    #: participant vote, 2F+1 acceptors, non-blocking under coordinator
+    #: crash with up to F acceptor failures
+    PAXOS = "PAXOS"
+    #: Short-Commit: early lock release at vote time with a
+    #: commit-dependency list instead of compensation
+    SHORT = "SHORT"
 
 
 @dataclass
@@ -45,3 +56,14 @@ class CommitConfig:
     #: spawn subtransactions one at a time (required for faithful R1
     #: transmark accumulation) or all at once
     sequential_spawn: bool = True
+    #: Paxos Commit: number of acceptor processes (2F+1; 3 tolerates one
+    #: acceptor failure without blocking)
+    paxos_acceptors: int = 3
+    #: Paxos Commit: how long a prepared participant waits for the
+    #: coordinator's DECISION before running the termination protocol as
+    #: recovery leader against the acceptors
+    paxos_decision_timeout: float = 60.0
+    #: Short-Commit: how long a participant's vote waits for its commit
+    #: dependencies (exposed data it read/overwrote) to resolve before it
+    #: gives up and votes NO
+    short_dependency_timeout: float = 100.0

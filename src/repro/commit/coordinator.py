@@ -77,6 +77,11 @@ class Coordinator:
         self.inbox = network.register(self.endpoint)
         #: durable decision log (survives coordinator crashes)
         self.decision_log: list[str] = []
+        #: the sites the last decision round targeted, and the acks it got
+        #: back — read by the networked client to re-send the decision to
+        #: sites that never acknowledged (a restarted in-doubt daemon)
+        self.decision_sites: list[str] = []
+        self.decision_acks: dict[str, dict[str, Any]] = {}
         self.outcome = TxnOutcome(txn_id=spec.txn_id, committed=False)
 
     # -- public entry -------------------------------------------------------------
@@ -268,7 +273,8 @@ class Coordinator:
         termination protocol: a participant that crashed after voting
         learns the outcome from a later round once it has recovered.
         """
-        acks: dict[str, dict[str, Any]] = {}
+        self.decision_sites = list(sites)
+        acks = self.decision_acks
         for _round in range(1 + max(0, self.config.decision_retries)):
             pending = [s for s in sites if s not in acks]
             if not pending:

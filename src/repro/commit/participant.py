@@ -73,6 +73,9 @@ class _SubtxnState:
     executed: bool = False
     voted: str | None = None
     decided: str | None = None
+    #: simulation time the decision was applied (the non-blocking oracle
+    #: compares it against coordinator outage windows)
+    decided_at: float | None = None
     compensated: bool = False
     #: reconstructed from the log after a crash (in-doubt path)
     recovered: bool = False
@@ -323,6 +326,7 @@ class Participant:
             self._reply(msg, MsgType.ACK, {"compensated": False})
             return
         state.decided = decision
+        state.decided_at = self.env.now
         status = self.site.ltm.status.get(txn_id)
         bus = self.env.bus
 

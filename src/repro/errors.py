@@ -219,6 +219,15 @@ class ProtocolViolation(CommitProtocolError):
     """A participant or coordinator observed an out-of-protocol message."""
 
 
+class UnknownScheme(CommitProtocolError):
+    """A :class:`~repro.commit.base.CommitScheme` has no registered engine.
+
+    Every enum member must be registered in :mod:`repro.protocols`;
+    ``repro lint`` enforces this statically, and :func:`engine_for` raises
+    this at runtime for schemes that slipped past it.
+    """
+
+
 # ---------------------------------------------------------------------------
 # Model checker
 # ---------------------------------------------------------------------------

@@ -18,7 +18,7 @@ sites, participants, and the marking protocol, and provides:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
 from repro.commit.base import CommitConfig, CommitScheme
 from repro.commit.coordinator import Coordinator
@@ -45,6 +45,8 @@ from repro.obs.render import (
     render_timeline,
 )
 from repro.obs.spans import Span
+from repro.protocols import acceptor_ids, engine_for
+from repro.protocols.acceptor import Acceptor
 from repro.sg.cycles import assert_correct
 from repro.sg.graph import GlobalSG
 from repro.sg.history import GlobalHistory
@@ -114,12 +116,23 @@ class SystemConfig:
     #: cluster file for backend="net" (site addresses + data_dir); None
     #: gives an ephemeral localhost cluster with a temporary data_dir
     sites_file: str | None = None
+    #: override of the coordinator's vote-collection timeout (simulation
+    #: time units); None keeps :attr:`CommitConfig.vote_timeout`.  A
+    #: top-level knob so experiment sweeps (``repro compare
+    #: --vote-timeout``) do not have to rebuild the whole CommitConfig.
+    vote_timeout: float | None = None
 
     def __post_init__(self) -> None:
         if self.metrics_window <= 0:
             raise ValueError(
                 f"metrics_window must be positive, got {self.metrics_window}"
             )
+        if self.vote_timeout is not None:
+            if self.vote_timeout <= 0:
+                raise ValueError(
+                    f"vote_timeout must be positive, got {self.vote_timeout}"
+                )
+            self.commit = replace(self.commit, vote_timeout=self.vote_timeout)
         if self.backend not in BACKENDS:
             valid = ", ".join(BACKENDS)
             raise ValueError(
@@ -179,6 +192,23 @@ class System:
         )
         if self.config.observability:
             self.obs.enable()
+        #: the commit-scheme engine (factories from the protocols registry)
+        self.engine = engine_for(self.config.scheme)
+        #: acceptor processes (Paxos Commit only; empty otherwise).  Sim
+        #: acceptor state is durable by convention — crashing an acceptor
+        #: endpoint drops its messages but keeps its promises, exactly like
+        #: the coordinator's decision log.
+        self.acceptors: dict[str, Acceptor] = {}
+        self._acceptor_ids: tuple[str, ...] = ()
+        if self.engine.uses_acceptors:
+            self._acceptor_ids = acceptor_ids(
+                self.config.commit.paxos_acceptors
+            )
+            for acc_id in self._acceptor_ids:
+                self.acceptors[acc_id] = Acceptor(
+                    self.env, self.network, acc_id
+                )
+                self.failures.register_site(acc_id)
         self.sites: dict[str, Site] = {}
         self.participants: dict[str, Participant] = {}
         for n in range(1, self.config.n_sites + 1):
@@ -196,9 +226,10 @@ class System:
                 for i in range(self.config.keys_per_site)
             })
             self.sites[sid] = site
-            self.participants[sid] = Participant(
-                site, self.network, scheme=self.config.scheme,
+            self.participants[sid] = self.engine.participant(
+                site=site, network=self.network, scheme=self.config.scheme,
                 marking=self.marking, lock_marks=self.config.lock_marks,
+                commit=self.config.commit, acceptors=self._acceptor_ids,
             )
             self.failures.register_site(sid)
         self.coordinators: dict[str, Coordinator] = {}
@@ -246,7 +277,7 @@ class System:
         The process's value is the :class:`TxnOutcome`; it is also appended
         to :attr:`outcomes` on completion.
         """
-        coordinator = Coordinator(
+        coordinator = self.engine.coordinator(
             env=self.env,
             network=self.network,
             spec=spec,
@@ -254,6 +285,7 @@ class System:
             marking=self.marking,
             config=self.config.commit,
             failures=self.failures,
+            acceptors=self._acceptor_ids,
         )
         self.coordinators[spec.txn_id] = coordinator
 

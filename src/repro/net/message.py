@@ -8,6 +8,12 @@ only after all operation acknowledgements (Section 2, distributed 2PL).
 
 O2PC introduces **no new message types** — that is one of the paper's claims,
 and the benchmark ``CLAIM-MSG`` counts these very objects to verify it.
+Short-Commit makes the same claim and also adds nothing.  Paxos Commit
+(Gray & Lamport) replaces the VOTE round with one Paxos consensus instance
+per participant: ``PAXOS_ACCEPT``/``PAXOS_ACCEPTED`` are phases 2a/2b (a
+participant's own vote is its ballot-0 2a message), and
+``PAXOS_PREPARE``/``PAXOS_PROMISE`` are phases 1a/1b of the termination
+protocol a recovery leader runs when the coordinator goes silent.
 """
 
 from __future__ import annotations
@@ -33,6 +39,15 @@ class MsgType(enum.Enum):
     DECISION = "DECISION"
     #: participant → coordinator: decision acknowledged
     ACK = "ACK"
+    #: leader → acceptor: Paxos phase 1a (termination-protocol prepare)
+    PAXOS_PREPARE = "PAXOS_PREPARE"
+    #: acceptor → leader: Paxos phase 1b (promise + accepted values)
+    PAXOS_PROMISE = "PAXOS_PROMISE"
+    #: proposer → acceptor: Paxos phase 2a (ballot 0 carries the
+    #: participant's own vote; higher ballots come from recovery leaders)
+    PAXOS_ACCEPT = "PAXOS_ACCEPT"
+    #: acceptor → leader: Paxos phase 2b (value accepted at a ballot)
+    PAXOS_ACCEPTED = "PAXOS_ACCEPTED"
 
 
 class Vote(enum.Enum):

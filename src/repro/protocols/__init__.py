@@ -1,0 +1,96 @@
+"""Pluggable commit-scheme engines on the shared substrate.
+
+The harness (sim backend) and the networked runtime (net backend) both
+construct their protocol engines through this registry instead of naming
+:class:`~repro.commit.coordinator.Coordinator` /
+:class:`~repro.commit.participant.Participant` directly.  Each
+:class:`~repro.commit.base.CommitScheme` member maps to an
+:class:`EngineSpec` — a coordinator factory, a participant factory, and a
+flag for schemes that need acceptor processes.
+
+Registered engines:
+
+* ``TWO_PL`` / ``O2PC`` — the incumbent pair (:mod:`repro.protocols.o2pc`):
+  standard 2PC with strict distributed 2PL, and the paper's optimistic
+  variant that locally commits at the YES vote.
+* ``PAXOS`` — Paxos Commit (:mod:`repro.protocols.paxos`): one consensus
+  instance per participant vote over 2F+1 acceptors
+  (:mod:`repro.protocols.acceptor`); non-blocking under coordinator crash
+  with up to F acceptor failures.
+* ``SHORT`` — Short-Commit (:mod:`repro.protocols.short`): early lock
+  release at the YES vote with a commit-dependency list instead of
+  compensation.
+
+``repro lint`` (``dispatch/missing-engine``) fails when an enum member has
+no entry here, so adding a scheme to the enum without an engine is caught
+statically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from repro.commit.base import CommitScheme
+from repro.errors import UnknownScheme
+
+__all__ = [
+    "EngineSpec",
+    "ENGINES",
+    "register",
+    "engine_for",
+    "acceptor_ids",
+]
+
+
+@dataclass(frozen=True)
+class EngineSpec:
+    """One commit scheme's engine factories.
+
+    ``coordinator`` is called with keyword arguments ``env``, ``network``,
+    ``spec``, ``scheme``, ``marking``, ``config``, ``failures``, and
+    ``acceptors`` (a tuple of acceptor endpoint ids; empty for schemes that
+    do not use acceptors).  ``participant`` is called with ``site``,
+    ``network``, ``scheme``, ``marking``, ``lock_marks``, ``commit`` (the
+    :class:`~repro.commit.base.CommitConfig`), and ``acceptors``.
+    Factories ignore the keywords their engine does not need, so the
+    harness can construct any scheme uniformly.
+    """
+
+    scheme: CommitScheme
+    coordinator: Callable[..., Any]
+    participant: Callable[..., Any]
+    #: the scheme needs 2F+1 acceptor processes per system
+    uses_acceptors: bool = False
+
+
+#: the engine registry, populated by the scheme modules imported below
+ENGINES: dict[CommitScheme, EngineSpec] = {}
+
+
+def register(spec: EngineSpec) -> None:
+    """Register (or replace) the engine for ``spec.scheme``."""
+    ENGINES[spec.scheme] = spec
+
+
+def engine_for(scheme: CommitScheme) -> EngineSpec:
+    """The registered engine for ``scheme``; raises :class:`UnknownScheme`."""
+    try:
+        return ENGINES[scheme]
+    except KeyError:
+        known = ", ".join(sorted(s.value for s in ENGINES))
+        raise UnknownScheme(
+            f"no engine registered for {scheme!r} (known: {known})"
+        ) from None
+
+
+def acceptor_ids(n: int) -> tuple[str, ...]:
+    """The endpoint ids of ``n`` acceptor processes (``acc.1`` .. ``acc.n``)."""
+    return tuple(f"acc.{i}" for i in range(1, n + 1))
+
+
+# Populate the registry.  Imported at the bottom so the scheme modules can
+# import ``register``/``EngineSpec`` from this module.
+from repro.protocols import o2pc as _o2pc  # noqa: E402,F401
+from repro.protocols import paxos as _paxos  # noqa: E402,F401
+from repro.protocols import short as _short  # noqa: E402,F401

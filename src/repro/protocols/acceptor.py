@@ -1,0 +1,198 @@
+"""The Paxos Commit acceptor role.
+
+An acceptor is a tiny, passive state machine: per transaction it remembers
+the highest ballot it promised and, per consensus *instance* (one instance
+per participant site), the highest-ballot value it accepted.  2F+1
+acceptors tolerate F failures: any two quorums of F+1 intersect, which is
+the whole safety argument of Paxos Commit (Gray & Lamport, *Consensus on
+Transaction Commit*).
+
+Ballots are ``(round, proposer)`` pairs ordered lexicographically.  Ballot
+``(0, "")`` is reserved for a participant's own vote — its phase-2a message
+sent straight to the acceptors, saving the phase-1 round in the failure-free
+case.  Recovery leaders (a timed-out participant, or the restarted
+coordinator) use rounds ≥ 1 with their own endpoint id as tiebreaker, so no
+two proposers ever share a ballot.
+
+Acceptor state is durable by definition — that is what the protocol's
+non-blocking guarantee rests on.  In the simulator the Python object simply
+survives the crash (only messages are dropped while the endpoint is down,
+exactly like the coordinator's ``decision_log``).  In the networked runtime
+the state is persisted to a JSON file next to the site's WAL and reloaded
+on restart (``path=...``).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Any
+
+from repro.net.message import Message, MsgType
+
+#: a ballot: (round, proposer endpoint).  Compared lexicographically.
+Ballot = tuple[int, str]
+
+#: ballot 0, reserved for participants' own votes
+BALLOT_ZERO: Ballot = (0, "")
+
+
+def ballot_of(raw: Any) -> Ballot:
+    """Normalize a wire-encoded ballot (a 2-list) to a comparable tuple."""
+    rnd, proposer = raw
+    return (int(rnd), str(proposer))
+
+
+class Acceptor:
+    """One of the 2F+1 Paxos Commit acceptors."""
+
+    #: the acceptor's receive surface: message type → handler method name.
+    #: A class-level literal so ``repro lint`` covers it like the
+    #: participant's ``_HANDLERS``.
+    _HANDLERS: dict[MsgType, str] = {
+        MsgType.PAXOS_PREPARE: "_handle_prepare",
+        MsgType.PAXOS_ACCEPT: "_handle_accept",
+    }
+
+    def __init__(
+        self,
+        env: Any,
+        network: Any,
+        acceptor_id: str,
+        path: str | None = None,
+    ) -> None:
+        self.env = env
+        self.network = network
+        self.acceptor_id = acceptor_id
+        #: JSON persistence path (networked runtime); None = in-memory
+        self.path = path
+        #: txn → highest promised ballot
+        self.promised: dict[str, Ballot] = {}
+        #: txn → instance (participant site) → (ballot, value)
+        self.accepted: dict[str, dict[str, tuple[Ballot, str]]] = {}
+        #: txn → the transaction's full participant list, learned from
+        #: ballot-0 accepts; recovery leaders read it back from promises
+        #: to learn the instance set
+        self.sites: dict[str, list[str]] = {}
+        if path is not None and os.path.exists(path):
+            self._load()
+        network.register(acceptor_id)
+        self._dispatcher = env.process(
+            self._dispatch(), name=f"acceptor:{acceptor_id}"
+        )
+
+    # -- dispatch -----------------------------------------------------------------
+
+    def _dispatch(self):
+        handlers = {
+            msg_type: getattr(self, method)
+            for msg_type, method in self._HANDLERS.items()
+        }
+        while True:
+            msg = yield self.network.receive(self.acceptor_id)
+            handler = handlers.get(msg.msg_type)
+            if handler is None:
+                continue
+            # Acceptor handlers never suspend: state update + one reply.
+            handler(msg)
+
+    # -- phase 1: prepare / promise --------------------------------------------------
+
+    def _handle_prepare(self, msg: Message) -> None:
+        txn_id = msg.txn_id
+        ballot = ballot_of(msg.payload["ballot"])
+        if ballot > self.promised.get(txn_id, BALLOT_ZERO):
+            self.promised[txn_id] = ballot
+            self._persist()
+        # Always reply: a promise at a higher ballot than the leader's is
+        # the nack that tells it to retry with a bigger round.
+        accepted = {
+            instance: [list(entry[0]), entry[1]]
+            for instance, entry in sorted(
+                self.accepted.get(txn_id, {}).items()
+            )
+        }
+        self.network.send(Message(
+            msg_type=MsgType.PAXOS_PROMISE,
+            sender=self.acceptor_id,
+            recipient=str(msg.payload.get("leader", msg.sender)),
+            txn_id=txn_id,
+            payload={
+                "ballot": list(self.promised.get(txn_id, BALLOT_ZERO)),
+                "accepted": accepted,
+                "sites": list(self.sites.get(txn_id, [])),
+            },
+        ))
+
+    # -- phase 2: accept / accepted ---------------------------------------------------
+
+    def _handle_accept(self, msg: Message) -> None:
+        txn_id = msg.txn_id
+        ballot = ballot_of(msg.payload["ballot"])
+        if ballot < self.promised.get(txn_id, BALLOT_ZERO):
+            # Nacked by silence; the leader learns the higher ballot from
+            # the promise round of its retry.
+            return
+        instance = str(msg.payload["instance"])
+        value = str(msg.payload["value"])
+        self.promised[txn_id] = ballot
+        self.accepted.setdefault(txn_id, {})[instance] = (ballot, value)
+        sites = msg.payload.get("sites")
+        if sites:
+            self.sites[txn_id] = [str(s) for s in sites]
+        self._persist()
+        self.network.send(Message(
+            msg_type=MsgType.PAXOS_ACCEPTED,
+            sender=self.acceptor_id,
+            recipient=str(msg.payload["leader"]),
+            txn_id=txn_id,
+            payload={
+                "instance": instance,
+                "ballot": list(ballot),
+                "value": value,
+            },
+        ))
+
+    # -- persistence (networked runtime) ---------------------------------------------
+
+    def _persist(self) -> None:
+        if self.path is None:
+            return
+        state = {
+            "promised": {
+                txn: list(b) for txn, b in sorted(self.promised.items())
+            },
+            "accepted": {
+                txn: {
+                    instance: [list(entry[0]), entry[1]]
+                    for instance, entry in sorted(entries.items())
+                }
+                for txn, entries in sorted(self.accepted.items())
+            },
+            "sites": {
+                txn: list(s) for txn, s in sorted(self.sites.items())
+            },
+        }
+        tmp = f"{self.path}.tmp"
+        with open(tmp, "w", encoding="utf-8") as fh:
+            json.dump(state, fh, sort_keys=True)
+        os.replace(tmp, self.path)
+
+    def _load(self) -> None:
+        assert self.path is not None
+        with open(self.path, encoding="utf-8") as fh:
+            state = json.load(fh)
+        self.promised = {
+            txn: ballot_of(b) for txn, b in state.get("promised", {}).items()
+        }
+        self.accepted = {
+            txn: {
+                instance: (ballot_of(entry[0]), str(entry[1]))
+                for instance, entry in entries.items()
+            }
+            for txn, entries in state.get("accepted", {}).items()
+        }
+        self.sites = {
+            txn: [str(s) for s in sites]
+            for txn, sites in state.get("sites", {}).items()
+        }

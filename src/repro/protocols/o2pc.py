@@ -1,0 +1,60 @@
+"""The incumbent engines: O2PC and distributed 2PL over standard 2PC.
+
+Both schemes run the unmodified :class:`~repro.commit.coordinator.Coordinator`
+and :class:`~repro.commit.participant.Participant`; the scheme enum member
+selects the participant's vote-time behavior (local commit + full lock
+release under ``O2PC``, prepare + lock retention under ``TWO_PL``).  The
+factories here only adapt those constructors to the registry's uniform
+keyword signature.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.commit.base import CommitScheme
+from repro.commit.coordinator import Coordinator
+from repro.commit.participant import Participant
+from repro.protocols import EngineSpec, register
+
+
+def make_coordinator(
+    *,
+    env: Any,
+    network: Any,
+    spec: Any,
+    scheme: CommitScheme,
+    marking: Any = None,
+    config: Any = None,
+    failures: Any = None,
+    acceptors: tuple[str, ...] = (),
+) -> Coordinator:
+    """Base coordinator; ``acceptors`` is ignored (2PC has no acceptors)."""
+    return Coordinator(
+        env, network, spec, scheme=scheme, marking=marking,
+        config=config, failures=failures,
+    )
+
+
+def make_participant(
+    *,
+    site: Any,
+    network: Any,
+    scheme: CommitScheme,
+    marking: Any = None,
+    lock_marks: bool = False,
+    commit: Any = None,
+    acceptors: tuple[str, ...] = (),
+) -> Participant:
+    """Base participant; ``commit``/``acceptors`` are coordinator-side knobs."""
+    return Participant(
+        site, network, scheme=scheme, marking=marking, lock_marks=lock_marks,
+    )
+
+
+for _scheme in (CommitScheme.O2PC, CommitScheme.TWO_PL):
+    register(EngineSpec(
+        scheme=_scheme,
+        coordinator=make_coordinator,
+        participant=make_participant,
+    ))

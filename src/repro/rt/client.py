@@ -23,11 +23,11 @@ import asyncio
 from typing import Any
 
 from repro.commit.base import CommitConfig, CommitScheme
-from repro.commit.coordinator import Coordinator
 from repro.core.marks import MarkingDirectory
 from repro.core.protocols import MarkingProtocol
 from repro.harness.system import PROTOCOLS
-from repro.net.message import MsgType
+from repro.net.message import Message, MsgType
+from repro.protocols import acceptor_ids, engine_for
 from repro.rt.config import ClusterConfig
 from repro.rt.pump import RealtimePump
 from repro.rt.transport import TcpTransport
@@ -39,10 +39,16 @@ from repro.txn.transaction import GlobalTxnSpec, TxnOutcome
 class NetClient:
     """Coordinator driver for the networked backend."""
 
-    #: message types the client accepts from the wire — must mirror
-    #: ``Coordinator._COLLECTS`` (checked by ``repro lint``'s dispatch
-    #: rule, same contract as ``SiteDaemon._INBOUND``)
-    _INBOUND = (MsgType.SUBTXN_ACK, MsgType.VOTE, MsgType.ACK)
+    #: message types the client accepts from the wire — must mirror the
+    #: union of every coordinator-side engine's ``_COLLECTS`` (checked by
+    #: ``repro lint``'s dispatch rule, same contract as
+    #: ``SiteDaemon._INBOUND``)
+    _INBOUND = (
+        MsgType.SUBTXN_ACK, MsgType.VOTE, MsgType.ACK,
+        # Paxos Commit: promises/accepteds flow to the coordinator when it
+        # acts as recovery leader, and accepteds carry the votes.
+        MsgType.PAXOS_PROMISE, MsgType.PAXOS_ACCEPTED,
+    )
 
     def __init__(
         self,
@@ -63,13 +69,23 @@ class NetClient:
             self.marking: MarkingProtocol = protocol
         else:
             self.marking = PROTOCOLS[protocol](directory=MarkingDirectory())
+        self.engine = engine_for(scheme)
+        self.acceptors: tuple[str, ...] = (
+            acceptor_ids(len(cluster.site_ids))
+            if self.engine.uses_acceptors else ()
+        )
         self.outcomes: list[TxnOutcome] = []
+        #: decisions some site never acknowledged: txn -> (decision,
+        #: pending sites).  A daemon that was down for the decision round
+        #: restarts *in doubt* and blocks until someone re-sends — that
+        #: someone is :meth:`resend_pending`.
+        self.pending_decisions: dict[str, tuple[str, list[str]]] = {}
 
     # -- running transactions ------------------------------------------------
 
     async def submit(self, spec: GlobalTxnSpec) -> TxnOutcome:
         """Run one global transaction (the pump must already be running)."""
-        coordinator = Coordinator(
+        coordinator = self.engine.coordinator(
             env=self.env,
             network=self.transport,
             spec=spec,
@@ -77,12 +93,22 @@ class NetClient:
             marking=self.marking,
             config=self.commit,
             failures=None,
+            acceptors=self.acceptors,
         )
         proc = self.env.process(
             coordinator.run(), name=f"coordinator:{spec.txn_id}"
         )
         outcome: TxnOutcome = await self.pump.wait_for(proc)
         self.outcomes.append(outcome)
+        if coordinator.decision_log:
+            pending = [
+                s for s in coordinator.decision_sites
+                if s not in coordinator.decision_acks
+            ]
+            if pending:
+                self.pending_decisions[spec.txn_id] = (
+                    coordinator.decision_log[-1], pending,
+                )
         return outcome
 
     async def run_session(
@@ -103,6 +129,83 @@ class NetClient:
     def run_transaction(self, spec: GlobalTxnSpec) -> TxnOutcome:
         """Blocking convenience wrapper: one transaction, one event loop."""
         return asyncio.run(self.run_session([spec]))[0]
+
+    # -- decision retransmission ---------------------------------------------
+
+    def _resend_one(self, txn_id: str, decision: str, pending: list[str]):
+        """Re-send one logged decision; returns the still-unacked sites."""
+        endpoint = f"coord.{txn_id}"
+        inbox = self.transport.register(endpoint)
+        for site_id in pending:
+            self.transport.send(Message(
+                msg_type=MsgType.DECISION,
+                sender=endpoint,
+                recipient=site_id,
+                txn_id=txn_id,
+                payload={"decision": decision},
+            ))
+        acked: set[str] = set()
+        deadline = self.env.now + self.commit.ack_timeout
+        while len(acked) < len(pending):
+            remaining = deadline - self.env.now
+            if remaining <= 0:
+                break
+            get = inbox.get()
+            if get.triggered:
+                msg = yield get
+            else:
+                timeout = self.env.timeout(remaining)
+                yield self.env.any_of([get, timeout])
+                if not get.triggered:
+                    inbox.cancel_get(get)
+                    break
+                msg = get.value
+            if msg.msg_type is MsgType.ACK and msg.sender in pending:
+                acked.add(msg.sender)
+        return sorted(set(pending) - acked)
+
+    async def resend_session(self) -> dict[str, list[str]]:
+        """Re-send every pending decision (the pump must be running).
+
+        The client half of the 2PC termination protocol over real sockets:
+        a daemon that was down for the decision round restarted *in doubt*
+        and blocks (holding its write locks) until the decision reaches it.
+        Returns {txn: sites still unacked}; fully acknowledged transactions
+        leave :attr:`pending_decisions`.
+        """
+        results: dict[str, list[str]] = {}
+        for txn_id in sorted(self.pending_decisions):
+            decision, pending = self.pending_decisions[txn_id]
+            proc = self.env.process(
+                self._resend_one(txn_id, decision, list(pending)),
+                name=f"resend:{txn_id}",
+            )
+            still: list[str] = await self.pump.wait_for(proc)
+            if still:
+                self.pending_decisions[txn_id] = (decision, still)
+            else:
+                del self.pending_decisions[txn_id]
+            results[txn_id] = still
+        return results
+
+    def resend_pending(self) -> dict[str, list[str]]:
+        """Blocking wrapper for :meth:`resend_session` (own event loop)."""
+
+        async def _run() -> dict[str, list[str]]:
+            pump_task = asyncio.get_running_loop().create_task(
+                self.pump.run()
+            )
+            try:
+                return await self.resend_session()
+            finally:
+                self.pump.stop()
+                try:
+                    await pump_task
+                except asyncio.CancelledError:
+                    pass
+                await self.transport.close()
+
+        return asyncio.run(_run())
 
 
 # -- admin helpers (status / shutdown frames) ---------------------------------

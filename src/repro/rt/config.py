@@ -61,6 +61,37 @@ class ClusterConfig:
         """Path of one site's durable write-ahead log file."""
         return os.path.join(self.data_dir, f"{site_id}.wal")
 
+    def acceptor_path(self, acceptor_id: str) -> str:
+        """Path of one co-hosted acceptor's durable state file."""
+        return os.path.join(self.data_dir, f"{acceptor_id}.json")
+
+    def route_site(self, endpoint_id: str) -> str | None:
+        """The site daemon hosting ``endpoint_id``, or None.
+
+        Sites host themselves.  Paxos acceptors are co-hosted one per
+        daemon: ``acc.<n>`` lives with the n-th site (sorted order), so a
+        cluster of N daemons is its own 2F+1 = N acceptor ensemble.
+        """
+        if endpoint_id in self.sites:
+            return endpoint_id
+        if endpoint_id.startswith("acc."):
+            try:
+                n = int(endpoint_id[4:])
+            except ValueError:
+                return None
+            ids = self.site_ids
+            if 1 <= n <= len(ids):
+                return ids[n - 1]
+        return None
+
+    def acceptor_hosted_by(self, site_id: str) -> str | None:
+        """The acceptor id co-hosted at ``site_id`` (inverse of
+        :meth:`route_site`)."""
+        ids = self.site_ids
+        if site_id in self.sites:
+            return f"acc.{ids.index(site_id) + 1}"
+        return None
+
     @property
     def site_ids(self) -> list[str]:
         """All configured site ids, sorted."""

@@ -28,12 +28,13 @@ import asyncio
 import os
 from typing import Any
 
-from repro.commit.base import CommitScheme
-from repro.commit.participant import Participant
+from repro.commit.base import CommitConfig, CommitScheme
 from repro.core.marks import MARKS_KEY, MarkingDirectory
 from repro.core.protocols import MarkingProtocol, NoProtocol
 from repro.harness.system import PROTOCOLS
 from repro.net.message import MsgType
+from repro.protocols import acceptor_ids, engine_for
+from repro.protocols.acceptor import Acceptor
 from repro.rt.config import ClusterConfig
 from repro.rt.pump import RealtimePump
 from repro.rt.transport import TcpTransport
@@ -47,11 +48,18 @@ from repro.txn.site import Site
 class SiteDaemon:
     """One site of the cluster as a standalone asyncio service."""
 
-    #: message types this daemon accepts from the wire — must mirror
-    #: ``Participant._HANDLERS`` (checked by ``repro lint``'s dispatch
-    #: rule: a handler the daemon never receives is dead code, a frame
-    #: type without a handler is a protocol hole)
-    _INBOUND = (MsgType.SUBTXN_REQ, MsgType.VOTE_REQ, MsgType.DECISION)
+    #: message types this daemon accepts from the wire — must mirror the
+    #: union of every participant-side engine's ``_HANDLERS`` plus the
+    #: co-hosted acceptor's (checked by ``repro lint``'s dispatch rule: a
+    #: handler the daemon never receives is dead code, a frame type
+    #: without a handler is a protocol hole)
+    _INBOUND = (
+        MsgType.SUBTXN_REQ, MsgType.VOTE_REQ, MsgType.DECISION,
+        # Paxos Commit: the co-hosted acceptor receives 1a/2a, the
+        # participant's termination leader receives 1b/2b.
+        MsgType.PAXOS_PREPARE, MsgType.PAXOS_ACCEPT,
+        MsgType.PAXOS_PROMISE, MsgType.PAXOS_ACCEPTED,
+    )
 
     def __init__(
         self,
@@ -62,6 +70,7 @@ class SiteDaemon:
         time_scale: float = 0.01,
         keys_per_site: int = 20,
         initial_value: int = 100,
+        commit: CommitConfig | None = None,
     ) -> None:
         self.site_id = site_id
         self.cluster = cluster
@@ -92,9 +101,28 @@ class SiteDaemon:
         if not isinstance(self.marking, NoProtocol):
             self.site.marks_key = MARKS_KEY
 
-        self.participant = Participant(
-            self.site, self.transport, scheme=scheme, marking=self.marking,
+        self.commit = commit or CommitConfig()
+        engine = engine_for(scheme)
+        # Acceptor ensemble: one acceptor co-hosted per daemon, so the
+        # cluster is its own 2F+1 ensemble (see ClusterConfig.route_site).
+        acceptors = (
+            acceptor_ids(len(cluster.site_ids))
+            if engine.uses_acceptors else ()
         )
+        self.participant = engine.participant(
+            site=self.site, network=self.transport, scheme=scheme,
+            marking=self.marking, commit=self.commit, acceptors=acceptors,
+        )
+        #: the co-hosted Paxos acceptor (None outside PAXOS), with its
+        #: durable state in a JSON file next to the site's WAL
+        self.acceptor: Acceptor | None = None
+        if engine.uses_acceptors:
+            acc_id = cluster.acceptor_hosted_by(site_id)
+            if acc_id is not None:
+                self.acceptor = Acceptor(
+                    self.env, self.transport, acc_id,
+                    path=cluster.acceptor_path(acc_id),
+                )
         #: recovery classification of the last restart (None on first boot)
         self.restart_report: RestartReport | None = None
         self._pump_task: Any = None

@@ -63,6 +63,10 @@ class RealtimePump:
         propagate out of this coroutine — the host decides whether that
         kills the daemon or the client call.
         """
+        # A fresh kick event per run: asyncio.Event binds to the loop it
+        # is first awaited on, and a client may pump once per event loop
+        # (run_transaction, then resend_pending on a new loop).
+        self._kick = asyncio.Event()
         self._running = True
         env = self.env
         while self._running:

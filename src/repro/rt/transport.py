@@ -193,13 +193,15 @@ class TcpTransport:
                 self._links.pop(message.recipient, None)
 
     async def _writer_for(self, endpoint_id: str) -> Any:
-        if endpoint_id in self.cluster.sites:
-            link = self._links.get(endpoint_id)
+        # Co-hosted endpoints (Paxos acceptors) route to their daemon.
+        host_site = self.cluster.route_site(endpoint_id)
+        if host_site is not None:
+            link = self._links.get(host_site)
             if link is None or not link.usable:
-                link = await self._dial(endpoint_id)
+                link = await self._dial(host_site)
                 if link is None:
                     return None
-                self._links[endpoint_id] = link
+                self._links[host_site] = link
             return link.writer
         writer = self._routes.get(endpoint_id)
         if writer is not None and not writer.is_closing():

@@ -30,6 +30,28 @@ def runtime_paths():
     )
 
 
+def participant_surfaces():
+    """The competitor engines' participant-side dispatch declarations."""
+    root = default_root()
+    return (
+        (root / "protocols" / "paxos.py", "PaxosParticipant", "_HANDLERS"),
+        (root / "protocols" / "short.py", "ShortParticipant", "_HANDLERS"),
+        (root / "protocols" / "acceptor.py", "Acceptor", "_HANDLERS"),
+    )
+
+
+def coordinator_surfaces():
+    root = default_root()
+    return (
+        (root / "protocols" / "paxos.py", "PaxosCommitCoordinator",
+         "_COLLECTS"),
+    )
+
+
+def all_surfaces():
+    return participant_surfaces() + coordinator_surfaces()
+
+
 def copied_paths(tmp_path):
     out = []
     for src in repo_paths():
@@ -49,7 +71,7 @@ def copied_runtime_paths(tmp_path):
 
 
 def test_shipped_dispatch_is_exhaustive():
-    assert analyze_dispatch(*repo_paths()) == []
+    assert analyze_dispatch(*repo_paths(), extra_surfaces=all_surfaces()) == []
 
 
 def test_declarations_match_runtime_enum():
@@ -69,11 +91,14 @@ def test_missing_participant_handler_is_flagged(tmp_path):
     )
     assert doctored != text
     participant.write_text(doctored)
+    # No extra surfaces: the competitor engines also declare DECISION and
+    # would mask the removal.  Without them the Paxos vocabulary is
+    # (correctly) unhandled too, so filter for the doctored member.
     findings = analyze_dispatch(message, coordinator, participant)
-    assert [f.rule for f in findings] == ["dispatch/missing-handler"]
-    finding = findings[0]
-    assert "MsgType.DECISION" in finding.message
-    assert finding.location.startswith("message.py:")
+    assert {f.rule for f in findings} == {"dispatch/missing-handler"}
+    matched = [f for f in findings if "MsgType.DECISION" in f.message]
+    assert len(matched) == 1
+    assert matched[0].location.startswith("message.py:")
 
 
 def test_new_msg_type_without_handler_is_flagged(tmp_path):
@@ -84,7 +109,9 @@ def test_new_msg_type_without_handler_is_flagged(tmp_path):
     )
     assert doctored != text
     message.write_text(doctored)
-    findings = analyze_dispatch(message, coordinator, participant)
+    findings = analyze_dispatch(
+        message, coordinator, participant, extra_surfaces=all_surfaces()
+    )
     assert [f.rule for f in findings] == ["dispatch/missing-handler"]
     assert "MsgType.INQUIRE" in findings[0].message
 
@@ -95,7 +122,9 @@ def test_unknown_msg_type_in_declaration(tmp_path):
     doctored = text.replace("MsgType.ACK,", "MsgType.ACK,\n        MsgType.NACK,")
     assert doctored != text
     coordinator.write_text(doctored)
-    findings = analyze_dispatch(message, coordinator, participant)
+    findings = analyze_dispatch(
+        message, coordinator, participant, extra_surfaces=all_surfaces()
+    )
     assert [f.rule for f in findings] == ["dispatch/unknown-msg-type"]
     assert "MsgType.NACK" in findings[0].message
 
@@ -106,7 +135,9 @@ def test_duplicate_declaration_is_flagged(tmp_path):
     doctored = text.replace("MsgType.ACK,", "MsgType.ACK,\n        MsgType.ACK,")
     assert doctored != text
     coordinator.write_text(doctored)
-    findings = analyze_dispatch(message, coordinator, participant)
+    findings = analyze_dispatch(
+        message, coordinator, participant, extra_surfaces=all_surfaces()
+    )
     assert [f.rule for f in findings] == ["dispatch/duplicate-handler"]
 
 
@@ -123,40 +154,67 @@ class TestRuntimeDispatch:
     """The rt daemon/client wire surfaces mirror the sim dispatch tables."""
 
     def test_shipped_runtime_surfaces_match(self):
-        assert analyze_runtime_dispatch(*runtime_paths()) == []
+        assert analyze_runtime_dispatch(
+            *runtime_paths(),
+            extra_participant_surfaces=participant_surfaces(),
+            extra_coordinator_surfaces=coordinator_surfaces(),
+        ) == []
 
     def test_inbound_literals_match_runtime_objects(self):
-        # The AST-read declarations must be what the classes really bind.
+        # The AST-read declarations must be what the classes really bind:
+        # each _INBOUND is the union over the engines that side hosts.
         from repro.commit.coordinator import Coordinator
         from repro.commit.participant import Participant
+        from repro.protocols.acceptor import Acceptor
+        from repro.protocols.paxos import (
+            PaxosCommitCoordinator,
+            PaxosParticipant,
+        )
+        from repro.protocols.short import ShortParticipant
         from repro.rt.client import NetClient
         from repro.rt.daemon import SiteDaemon
 
-        assert set(SiteDaemon._INBOUND) == set(Participant._HANDLERS)
-        assert set(NetClient._INBOUND) == set(Coordinator._COLLECTS)
+        assert set(SiteDaemon._INBOUND) == (
+            set(Participant._HANDLERS)
+            | set(PaxosParticipant._HANDLERS)
+            | set(ShortParticipant._HANDLERS)
+            | set(Acceptor._HANDLERS)
+        )
+        assert set(NetClient._INBOUND) == (
+            set(Coordinator._COLLECTS)
+            | set(PaxosCommitCoordinator._COLLECTS)
+        )
 
     def test_daemon_missing_inbound_entry_is_flagged(self, tmp_path):
         paths = copied_runtime_paths(tmp_path)
         daemon = paths[3]
         text = daemon.read_text()
-        doctored = text.replace("MsgType.DECISION)", ")")
+        doctored = text.replace("MsgType.DECISION,\n", "")
         assert doctored != text
         daemon.write_text(doctored)
-        findings = analyze_runtime_dispatch(*paths)
+        findings = analyze_runtime_dispatch(
+            *paths,
+            extra_participant_surfaces=participant_surfaces(),
+            extra_coordinator_surfaces=coordinator_surfaces(),
+        )
         assert [f.rule for f in findings] == ["dispatch/runtime-mismatch"]
         assert "MsgType.DECISION" in findings[0].message
-        assert "Participant._HANDLERS" in findings[0].message
+        assert "_HANDLERS union" in findings[0].message
 
     def test_client_extra_inbound_entry_is_flagged(self, tmp_path):
         paths = copied_runtime_paths(tmp_path)
         client = paths[4]
         text = client.read_text()
         doctored = text.replace(
-            "MsgType.ACK)", "MsgType.ACK, MsgType.DECISION)"
+            "MsgType.ACK,", "MsgType.ACK, MsgType.DECISION,"
         )
         assert doctored != text
         client.write_text(doctored)
-        findings = analyze_runtime_dispatch(*paths)
+        findings = analyze_runtime_dispatch(
+            *paths,
+            extra_participant_surfaces=participant_surfaces(),
+            extra_coordinator_surfaces=coordinator_surfaces(),
+        )
         assert [f.rule for f in findings] == ["dispatch/runtime-mismatch"]
         assert "MsgType.DECISION" in findings[0].message
         assert "silently ignored" in findings[0].message
@@ -166,11 +224,15 @@ class TestRuntimeDispatch:
         daemon = paths[3]
         text = daemon.read_text()
         doctored = text.replace(
-            "MsgType.DECISION)", "MsgType.DECISION, MsgType.NACK)"
+            "MsgType.DECISION,", "MsgType.DECISION, MsgType.NACK,"
         )
         assert doctored != text
         daemon.write_text(doctored)
-        findings = analyze_runtime_dispatch(*paths)
+        findings = analyze_runtime_dispatch(
+            *paths,
+            extra_participant_surfaces=participant_surfaces(),
+            extra_coordinator_surfaces=coordinator_surfaces(),
+        )
         assert "dispatch/unknown-msg-type" in [f.rule for f in findings]
 
     def test_missing_inbound_declaration_is_an_analysis_error(self, tmp_path):
@@ -179,3 +241,26 @@ class TestRuntimeDispatch:
         daemon.write_text(daemon.read_text().replace("_INBOUND", "_RENAMED"))
         with pytest.raises(AnalysisError):
             analyze_runtime_dispatch(*paths)
+
+
+class TestEngineRegistry:
+    """dispatch/missing-engine: every enum member must be constructible."""
+
+    def test_shipped_registry_is_complete(self):
+        from repro.analysis.dispatch import analyze_engines
+
+        assert analyze_engines() == []
+
+    def test_unregistered_member_is_an_error(self):
+        from repro.analysis.dispatch import analyze_engines
+        from repro.commit.base import CommitScheme
+        from repro.protocols import ENGINES
+
+        spec = ENGINES.pop(CommitScheme.SHORT)
+        try:
+            findings = analyze_engines()
+        finally:
+            ENGINES[CommitScheme.SHORT] = spec
+        assert [f.rule for f in findings] == ["dispatch/missing-engine"]
+        assert "SHORT" in findings[0].message
+        assert findings[0].severity.name == "ERROR"

@@ -104,6 +104,21 @@ class TestCli:
             "class NetClient:\n"
             "    _INBOUND = ()\n"
         )
+        (tmp_path / "protocols").mkdir()
+        (tmp_path / "protocols" / "paxos.py").write_text(
+            "class PaxosCommitCoordinator:\n"
+            "    _COLLECTS = ()\n"
+            "class PaxosParticipant:\n"
+            "    _HANDLERS = {}\n"
+        )
+        (tmp_path / "protocols" / "short.py").write_text(
+            "class ShortParticipant:\n"
+            "    _HANDLERS = {}\n"
+        )
+        (tmp_path / "protocols" / "acceptor.py").write_text(
+            "class Acceptor:\n"
+            "    _HANDLERS = {}\n"
+        )
         assert main(["lint", "--root", str(tmp_path)]) == 1
         out = capsys.readouterr().out
         assert "determinism/wall-clock" in out

@@ -1,0 +1,80 @@
+"""The nonblocking oracle and the crashcoord scenario.
+
+crashcoord is the blocking drill: coordinator down after the votes, one
+acceptor down throughout.  Every scheme must pass it — the 2PC family by
+legitimately waiting out the outage (the oracle is PAXOS-only), Paxos
+Commit by terminating during it.  Killing a second acceptor removes the
+termination quorum, and the oracle must catch the resulting block.
+"""
+
+import pytest
+
+from repro.check.oracles import run_oracles
+from repro.check.workloads import get_scenario, make_system_config
+from repro.commit.base import CommitScheme
+from repro.harness.system import System
+from repro.net.failures import CrashPlan
+
+
+def run_crashcoord(scheme, extra_plans=()):
+    scenario = get_scenario("crashcoord")
+    system = System(make_system_config(scenario, "none", 0, scheme=scheme))
+    for plan in extra_plans:
+        system.failures.schedule(plan)
+    scenario.build(system)
+    system.env.run()
+    return system
+
+
+class TestCrashcoordScenario:
+    @pytest.mark.parametrize("scheme", list(CommitScheme))
+    def test_every_scheme_survives_the_drill(self, scheme):
+        system = run_crashcoord(scheme)
+        assert run_oracles(system) == []
+        outcome = system.outcomes[0]
+        assert outcome.txn_id == "T1" and outcome.committed
+
+    def test_paxos_decides_inside_the_outage(self):
+        system = run_crashcoord(CommitScheme.PAXOS)
+        state = system.participants["S1"].subtxns["T1"]
+        assert state.decided_at is not None
+        assert state.decided_at < 6.2 + 400.0
+
+    def test_two_pl_waits_for_the_coordinator(self):
+        system = run_crashcoord(CommitScheme.TWO_PL)
+        state = system.participants["S1"].subtxns["T1"]
+        assert state.decided_at is not None
+        assert state.decided_at > 6.2 + 400.0
+
+
+class TestNonblockingOracle:
+    def test_quorum_loss_under_paxos_is_flagged(self):
+        system = run_crashcoord(
+            CommitScheme.PAXOS,
+            extra_plans=(CrashPlan("acc.2", at=0.5, duration=400.0),),
+        )
+        violations = run_oracles(system)
+        assert violations, "oracle missed a blocked Paxos Commit"
+        assert {v.oracle for v in violations} == {"nonblocking"}
+        # Both YES voters sat on the vote past the termination budget.
+        flagged = {v.detail.split()[0] for v in violations}
+        assert flagged == {"S1", "S2"}
+
+    def test_quorum_loss_under_two_pl_is_vacuous(self):
+        # The same double-acceptor crash under a 2PC-family scheme is
+        # harmless noise: the oracle only judges PAXOS runs.
+        system = run_crashcoord(
+            CommitScheme.O2PC,
+            extra_plans=(CrashPlan("acc.2", at=0.5, duration=400.0),),
+        )
+        assert run_oracles(system) == []
+
+
+class TestReplayDeterminism:
+    def test_crashcoord_event_stream_is_reproducible(self):
+        streams = [
+            run_crashcoord(CommitScheme.PAXOS).obs.jsonl()
+            for _ in range(2)
+        ]
+        assert streams[0] == streams[1]
+        assert streams[0]  # observability is on in the checker config

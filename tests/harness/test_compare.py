@@ -1,0 +1,97 @@
+"""The head-to-head comparison harness behind ``repro compare``.
+
+One module-scoped run of :func:`compare_schemes` backs most assertions
+(each call simulates a contention leg plus a 400-unit crash drill per
+scheme, so re-running it per test would dominate the suite).
+"""
+
+import pytest
+
+from repro.harness.bench import SCHEMA_VERSION
+from repro.harness.compare import compare_schemes, run_compare
+from repro.protocols import ENGINES
+
+
+@pytest.fixture(scope="module")
+def results():
+    return compare_schemes(seed=0, transactions=6)
+
+
+EXPECTED_METRICS = {
+    "transactions", "txns_per_s", "committed", "abort_rate",
+    "compensation_rate", "messages_per_txn", "lock_hold_p50",
+    "lock_hold_p99", "blocking_time", "decided_in_outage",
+}
+
+
+class TestCoverage:
+    def test_every_registered_scheme_gets_a_block(self, results):
+        expected = sorted(
+            f"compare_{s.name}" for s in ENGINES
+        )
+        assert sorted(results) == expected
+
+    def test_every_block_carries_the_full_metric_set(self, results):
+        for key, block in results.items():
+            assert set(block) == EXPECTED_METRICS, key
+            assert block["transactions"] == 6.0
+            assert block["txns_per_s"] > 0.0, key
+
+
+class TestProtocolNarrative:
+    """The numbers must tell the paper's story, not just exist."""
+
+    def test_paxos_terminates_during_the_outage(self, results):
+        assert results["compare_PAXOS"]["decided_in_outage"] == 1.0
+        assert results["compare_TWO_PL"]["decided_in_outage"] == 0.0
+        assert (
+            results["compare_PAXOS"]["blocking_time"]
+            < results["compare_TWO_PL"]["blocking_time"]
+        )
+
+    def test_paxos_pays_in_messages(self, results):
+        # 2F+1 acceptors turn every vote into a broadcast: the message
+        # bill must clearly exceed the plain 2PC round count.
+        assert (
+            results["compare_PAXOS"]["messages_per_txn"]
+            > results["compare_TWO_PL"]["messages_per_txn"]
+        )
+
+    def test_short_never_compensates(self, results):
+        assert results["compare_SHORT"]["compensation_rate"] == 0.0
+        assert results["compare_TWO_PL"]["compensation_rate"] == 0.0
+        # O2PC is the only scheme that trades aborts for compensating
+        # actions (the workload forces NO votes at 15%).
+        assert results["compare_O2PC"]["compensation_rate"] > 0.0
+
+    def test_early_release_shortens_the_lock_tail(self, results):
+        # O2PC and Short-Commit release at the vote; the 2PC family holds
+        # through the decision round-trip.
+        for early in ("compare_O2PC", "compare_SHORT"):
+            assert (
+                results[early]["lock_hold_p99"]
+                <= results["compare_TWO_PL"]["lock_hold_p99"]
+            ), early
+
+
+class TestVoteTimeoutSweep:
+    def test_sweep_produces_one_block_per_timeout(self):
+        results = compare_schemes(
+            seed=0, transactions=2, vote_timeouts=(5.0, 20.0),
+        )
+        paxos_keys = sorted(k for k in results if "PAXOS" in k)
+        assert paxos_keys == ["compare_PAXOS@vt20", "compare_PAXOS@vt5"]
+        assert results["compare_PAXOS@vt5"]["vote_timeout"] == 5.0
+        assert results["compare_PAXOS@vt20"]["vote_timeout"] == 20.0
+
+
+class TestPayload:
+    def test_run_compare_emits_the_bench_artifact_shape(self):
+        artifacts = run_compare(smoke=True, seed=0)
+        assert sorted(artifacts) == ["BENCH_compare.json"]
+        payload = artifacts["BENCH_compare.json"]
+        assert payload["schema"] == SCHEMA_VERSION
+        assert payload["smoke"] is True
+        assert payload["seed"] == 0
+        # The baseline gate keys on result blocks named compare_*.
+        assert all(k.startswith("compare_") for k in payload["results"])

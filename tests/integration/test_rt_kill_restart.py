@@ -25,8 +25,9 @@ import time
 
 import pytest
 
+from repro.commit.base import CommitConfig, CommitScheme
 from repro.net.message import Message, MsgType
-from repro.rt.client import site_read, site_shutdown, site_status
+from repro.rt.client import NetClient, site_read, site_shutdown, site_status
 from repro.rt.config import local_cluster
 from repro.rt.system import wait_for_port
 from repro.rt.wire import message_from_json, message_to_json, read_frame, \
@@ -216,6 +217,58 @@ class TestKillRestartO2PC:
                 except (OSError, subprocess.TimeoutExpired):
                     proc.kill()
                     proc.wait()
+
+
+class TestDecisionRetransmission:
+    def test_resend_pending_finalizes_a_restarted_in_doubt_daemon(
+        self, cluster, cluster_file,
+    ):
+        # The full termination loop over real processes: the daemon is
+        # SIGKILLed between its vote and the decision, restarts *in
+        # doubt* (write locks re-acquired), and learns the outcome from
+        # the client's decision retransmission — the state a coordinator
+        # leaves in ``pending_decisions`` when its decision rounds go
+        # unacknowledged (see tests/rt/test_resend.py for the organic
+        # population over sockets).
+        proc = spawn_daemon(cluster_file, scheme="TWO_PL")
+        try:
+            daemon_ready(cluster)
+            execute_and_vote(cluster)
+            proc.send_signal(signal.SIGKILL)
+            proc.wait()
+
+            proc = spawn_daemon(cluster_file, scheme="TWO_PL")
+            status = daemon_ready(cluster, recovered=True)
+            assert status["recovered"]["in_doubt"] == ["T1"]
+
+            client = NetClient(cluster, scheme=CommitScheme.TWO_PL)
+            client.pending_decisions["T1"] = ("COMMIT", ["S1"])
+            results = client.resend_pending()
+            assert results == {"T1": []}
+            assert client.pending_decisions == {}
+            # The in-doubt transaction was finalized: update applied,
+            # locks released (a fresh read gets through immediately).
+            assert site_read(cluster, "S1", "k0") == 70
+        finally:
+            if proc.poll() is None:
+                try:
+                    site_shutdown(cluster, "S1")
+                    proc.wait(timeout=5)
+                except (OSError, subprocess.TimeoutExpired):
+                    proc.kill()
+                    proc.wait()
+
+    def test_resend_pending_times_out_against_a_dead_daemon(self, cluster):
+        # No daemon at all: the retransmission round expires and the
+        # decision stays pending for the next attempt.
+        client = NetClient(
+            cluster, scheme=CommitScheme.TWO_PL,
+            commit=CommitConfig(ack_timeout=5.0, decision_retries=1),
+        )
+        client.pending_decisions["T1"] = ("ABORT", ["S1"])
+        results = client.resend_pending()
+        assert results == {"T1": ["S1"]}
+        assert client.pending_decisions == {"T1": ("ABORT", ["S1"])}
 
 
 class TestKillRestart2PL:

@@ -1,0 +1,129 @@
+"""Paxos Commit on the simulated substrate.
+
+The headline property under test is the one that distinguishes the scheme
+from the whole 2PC family: participants reach a decision while the
+coordinator is *down*, as long as an acceptor majority is up.  The
+timeouts are compressed exactly like the checker's so a watchdog round
+fits in a short run.
+"""
+
+from repro.commit.base import CommitConfig, CommitScheme
+from repro.harness.system import System, SystemConfig
+from repro.net.failures import CrashPlan
+from repro.net.network import LatencyModel
+from repro.txn.operations import WriteOp
+from repro.txn.transaction import GlobalTxnSpec, SubtxnSpec, VotePolicy
+
+COMMIT = CommitConfig(
+    spawn_timeout=30.0,
+    spawn_retry_delay=2.0,
+    max_spawn_retries=10,
+    vote_timeout=30.0,
+    ack_timeout=15.0,
+    decision_retries=5,
+    decision_log_delay=0.5,
+    sequential_spawn=True,
+    paxos_acceptors=3,
+    paxos_decision_timeout=10.0,
+    short_dependency_timeout=25.0,
+)
+
+#: the crash window: after both votes (~6 with unit latency), before the
+#: coordinator's force-logged decision goes out (votes + 0.5 log delay)
+CRASH_AT = 6.2
+OUTAGE = 400.0
+
+
+def make_system(**overrides):
+    config = SystemConfig(
+        n_sites=2, scheme=CommitScheme.PAXOS, protocol="none", seed=0,
+        latency=LatencyModel(base=1.0, jitter=0.0), commit=COMMIT,
+        **overrides,
+    )
+    return System(config)
+
+
+def transfer(vote=VotePolicy.AUTO):
+    return GlobalTxnSpec("T1", [
+        SubtxnSpec("S1", [WriteOp("k0", 1)]),
+        SubtxnSpec("S2", [WriteOp("k1", 1)], vote=vote),
+    ])
+
+
+def decisions(system, txn_id="T1"):
+    return {
+        site_id: participant.subtxns[txn_id]
+        for site_id, participant in system.participants.items()
+        if txn_id in participant.subtxns
+    }
+
+
+class TestFailureFree:
+    def test_ballot_zero_fast_path_commits(self):
+        system = make_system()
+        outcome = system.run_transaction(transfer())
+        assert outcome.committed
+        for state in decisions(system).values():
+            assert state.decided == "COMMIT"
+        # Every acceptor saw both instances' ballot-0 YES votes.
+        for acceptor in system.acceptors.values():
+            accepted = acceptor.accepted["T1"]
+            assert {i: v for i, (_, v) in accepted.items()} == {
+                "S1": "YES", "S2": "YES",
+            }
+
+    def test_no_vote_aborts_without_compensation(self):
+        # Paxos Commit holds locks through the decision like 2PC: an
+        # abort is a plain rollback, never a compensating action.
+        system = make_system()
+        outcome = system.run_transaction(transfer(vote=VotePolicy.FORCE_NO))
+        assert not outcome.committed
+        assert outcome.compensated_sites == []
+        assert system.sites["S1"].store.get_or("k0", None) == 100
+
+    def test_commits_with_one_acceptor_down(self):
+        # 2F+1 = 3 acceptors tolerate F = 1: a bare 2-of-3 quorum carries
+        # the fast path with no extra rounds.
+        system = make_system()
+        system.failures.schedule(CrashPlan("acc.3", at=0.5, duration=OUTAGE))
+        outcome = system.run_transaction(transfer())
+        assert outcome.committed
+
+
+class TestNonBlocking:
+    def run_crashed_coordinator(self, extra_plans=()):
+        system = make_system()
+        system.failures.schedule(CrashPlan("acc.3", at=0.5, duration=OUTAGE))
+        for plan in extra_plans:
+            system.failures.schedule(plan)
+        system.failures.schedule(
+            CrashPlan("coord.T1", at=CRASH_AT, duration=OUTAGE)
+        )
+        system.submit(transfer())
+        system.env.run()
+        return system
+
+    def test_participants_decide_during_the_outage(self):
+        system = self.run_crashed_coordinator()
+        for site_id, state in decisions(system).items():
+            assert state.decided == "COMMIT", site_id
+            # The recovery leader's termination protocol needed one
+            # watchdog timeout plus a couple of message rounds — nowhere
+            # near the coordinator's return at t≈406.
+            assert state.decided_at is not None
+            assert state.decided_at < CRASH_AT + 60.0, site_id
+        assert system.sites["S1"].store.get_or("k0", None) == 1
+        assert system.sites["S2"].store.get_or("k1", None) == 1
+
+    def test_quorum_loss_blocks_until_an_acceptor_returns(self):
+        # The contrapositive: with 2 of 3 acceptors down no termination
+        # quorum exists, and the decision must wait until the acceptor
+        # outage ends at t=400.5 restores a majority (still before the
+        # coordinator itself returns at t≈406.2).
+        system = self.run_crashed_coordinator(
+            extra_plans=(CrashPlan("acc.2", at=0.5, duration=OUTAGE),)
+        )
+        for site_id, state in decisions(system).items():
+            assert state.decided == "COMMIT", site_id
+            assert state.decided_at is not None
+            assert state.decided_at > 0.5 + OUTAGE, site_id

@@ -121,3 +121,59 @@ class TestDaemonRoundTrip:
             tmp_path, [transfer_spec()], scheme=CommitScheme.TWO_PL,
         ))
         assert outcomes[0].committed
+
+
+class TestCompetitorSchemesOverSockets:
+    """Paxos Commit and Short-Commit ride the same daemons unchanged.
+
+    A two-daemon cluster under PAXOS is its own 2F+1 = 2 acceptor
+    ensemble (one acceptor co-hosted per daemon, quorum of 2), so the
+    1a/2a traffic crosses real sockets to *both* daemons.
+    """
+
+    def test_paxos_commits_over_sockets(self, tmp_path):
+        outcomes, statuses = asyncio.run(run_cluster(
+            tmp_path, [transfer_spec()], scheme=CommitScheme.PAXOS,
+        ))
+        assert outcomes[0].committed
+        for status in statuses:
+            assert status["subtxns"]["T1"]["voted"] == "YES"
+
+    def test_paxos_no_vote_aborts_without_compensation(self, tmp_path):
+        outcomes, _ = asyncio.run(run_cluster(
+            tmp_path, [transfer_spec(vote=VotePolicy.FORCE_NO)],
+            scheme=CommitScheme.PAXOS,
+        ))
+        outcome = outcomes[0]
+        assert not outcome.committed
+        assert outcome.compensated_sites == []
+
+    def test_paxos_acceptor_state_is_persisted(self, tmp_path):
+        asyncio.run(run_cluster(
+            tmp_path, [transfer_spec()], scheme=CommitScheme.PAXOS,
+        ))
+        # Each daemon persisted its co-hosted acceptor next to its WAL.
+        import json
+        import os
+
+        for acc in ("acc.1", "acc.2"):
+            path = os.path.join(str(tmp_path), f"{acc}.json")
+            assert os.path.exists(path), f"{acc} state file missing"
+            with open(path, encoding="utf-8") as fh:
+                state = json.load(fh)
+            assert "T1" in state["accepted"]
+
+    def test_short_commits_over_sockets(self, tmp_path):
+        outcomes, _ = asyncio.run(run_cluster(
+            tmp_path, [transfer_spec()], scheme=CommitScheme.SHORT,
+        ))
+        assert outcomes[0].committed
+
+    def test_short_no_vote_aborts_without_compensation(self, tmp_path):
+        outcomes, _ = asyncio.run(run_cluster(
+            tmp_path, [transfer_spec(vote=VotePolicy.FORCE_NO)],
+            scheme=CommitScheme.SHORT,
+        ))
+        outcome = outcomes[0]
+        assert not outcome.committed
+        assert outcome.compensated_sites == []
