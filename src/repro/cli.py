@@ -46,6 +46,7 @@ from __future__ import annotations
 
 import argparse
 import sys
+from typing import Any
 
 from repro.commit import CommitScheme
 from repro.harness import (
@@ -337,8 +338,51 @@ def cmd_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def _print_metrics_report(report: Any) -> None:
+    print("== metrics ==")
+    for name in (
+        "committed", "aborted", "abort_rate", "throughput",
+        "mean_latency", "p50_latency", "p99_latency",
+        "mean_lock_hold", "mean_lock_wait",
+        "messages_total", "messages_per_txn",
+        "compensations", "deadlocks", "rejections",
+    ):
+        value = getattr(report, name)
+        shown = f"{value:.3f}" if isinstance(value, float) else str(value)
+        print(f"{name:18} {shown}")
+
+
+def _metrics_net(args: argparse.Namespace) -> int:
+    """Aggregate a live cluster's per-site event streams into one report."""
+    from repro.rt.config import load_cluster
+    from repro.rt.obs_sink import aggregate_cluster
+
+    if not args.cluster:
+        print(
+            "repro metrics: --backend net needs --cluster (the daemons' "
+            "cluster file; start them with 'repro serve --obs')",
+            file=sys.stderr,
+        )
+        return 2
+    cluster = load_cluster(args.cluster)
+    report, per_site = aggregate_cluster(cluster)
+    print("== cluster event streams ==")
+    for site_id in cluster.site_ids:
+        path = cluster.events_path(site_id)
+        print(f"{site_id:18} {per_site[site_id]:6d} events  ({path})")
+    _print_metrics_report(report)
+    return 0
+
+
 def cmd_metrics(args: argparse.Namespace) -> int:
-    """Run a workload with streaming metrics; report at the end or --watch."""
+    """Run a workload with streaming metrics; report at the end or --watch.
+
+    With ``--backend net --cluster c.json`` no workload is run: the
+    command instead folds the JSONL event streams of a live (or stopped)
+    ``--obs`` cluster into the same report.
+    """
+    if getattr(args, "backend", "sim") == "net":
+        return _metrics_net(args)
     failed = _require_backend(args, "sim")
     if failed is not None:
         return failed
@@ -366,17 +410,7 @@ def cmd_metrics(args: argparse.Namespace) -> int:
     else:
         elapsed = gen.run()
     report = system.metrics(elapsed)
-    print("== metrics ==")
-    for name in (
-        "committed", "aborted", "abort_rate", "throughput",
-        "mean_latency", "p50_latency", "p99_latency",
-        "mean_lock_hold", "mean_lock_wait",
-        "messages_total", "messages_per_txn",
-        "compensations", "deadlocks", "rejections",
-    ):
-        value = getattr(report, name)
-        shown = f"{value:.3f}" if isinstance(value, float) else str(value)
-        print(f"{name:18} {shown}")
+    _print_metrics_report(report)
     return 0
 
 
@@ -483,10 +517,12 @@ def cmd_bench(args: argparse.Namespace) -> int:
     import os
 
     from repro.harness.bench import (
-        compare_to_baseline, run_scale, run_suite, to_json,
+        compare_to_baseline, run_net, run_scale, run_suite, to_json,
     )
 
-    if args.scale:
+    if args.net:
+        payloads = run_net(smoke=args.smoke, seed=args.seed)
+    elif args.scale:
         payloads = run_scale(smoke=args.smoke, seed=args.seed)
     else:
         payloads = run_suite(smoke=args.smoke, seed=args.seed, jobs=args.jobs)
@@ -643,6 +679,9 @@ def cmd_serve(args: argparse.Namespace) -> int:
         time_scale=args.time_scale,
         keys_per_site=args.keys,
         initial_value=args.value,
+        obs_path=(
+            cluster.events_path(args.site) if args.obs else None
+        ),
     )
     spec = cluster.site(args.site)
     print(
@@ -812,6 +851,10 @@ def build_parser() -> argparse.ArgumentParser:
     metrics.add_argument("--watch", action="store_true",
                          help="print one snapshot per simulation window")
     metrics.add_argument("--window", type=_positive_float, default=10.0)
+    metrics.add_argument("--cluster", default=None,
+                         help="with --backend net: aggregate this live "
+                              "cluster's --obs event streams instead of "
+                              "running a workload")
     metrics.set_defaults(fn=cmd_metrics, protocol="P1", backend="sim",
                          scheme="O2PC")
 
@@ -863,6 +906,10 @@ def build_parser() -> argparse.ArgumentParser:
                        help="run the 64-site sharded scale workload "
                             "instead of the default suite "
                             "(BENCH_scale.json)")
+    bench.add_argument("--net", action="store_true",
+                       help="run the networked-runtime workload: real "
+                            "daemons over localhost TCP, serial vs "
+                            "pipelined coordinators (BENCH_net.json)")
     bench.add_argument("--out", default="bench-artifacts",
                        help="directory for the BENCH_*.json artifacts "
                             "(matches the CI artifact location; baselines "
@@ -927,6 +974,10 @@ def build_parser() -> argparse.ArgumentParser:
                        help="keys preloaded on first boot")
     serve.add_argument("--value", type=int, default=100,
                        help="initial value of preloaded keys")
+    serve.add_argument("--obs", action="store_true",
+                       help="stream this site's events to "
+                            "<data_dir>/<site>.events.jsonl (read back "
+                            "with 'repro metrics --backend net')")
     serve.set_defaults(fn=cmd_serve, protocol="none", backend="net")
 
     client = sub.add_parser(

@@ -17,6 +17,12 @@ A fourth workload lives behind ``repro bench --scale``: ``scale`` runs
 Zipf-skewed hotspots, reporting throughput, the abort/compensation
 census, and lock-hold p50/p99 (``run_scale`` → ``BENCH_scale.json``).
 
+A fifth lives behind ``repro bench --net``: ``net`` boots a localhost
+cluster of real ``repro serve`` daemons and measures serial vs 16-way
+pipelined coordinator throughput over actual sockets — commit-latency
+percentiles, messages per transaction, and fsyncs per committed
+transaction (``run_net`` → ``BENCH_net.json``).
+
 ``run_suite`` returns JSON-ready payloads for ``BENCH_check.json`` and
 ``BENCH_sg.json``.  Regression gating compares only throughput-style
 metrics (``*_per_s``, ``speedup_vs_scan``) against a committed baseline:
@@ -37,7 +43,9 @@ from repro.sim.rng import Rng
 
 #: metrics compared against the baseline (higher is better); everything
 #: else in the payloads is informational
-GATED_METRICS = ("schedules_per_s", "txns_per_s", "speedup_vs_scan")
+GATED_METRICS = (
+    "schedules_per_s", "txns_per_s", "speedup_vs_scan", "speedup_vs_serial",
+)
 
 SCHEMA_VERSION = 1
 
@@ -186,6 +194,160 @@ def bench_scale(
     }
 
 
+# -- workload: networked runtime -----------------------------------------------
+
+
+def _net_transfer_specs(
+    site_ids: list[str],
+    n: int,
+    keys_per_site: int,
+    seed: int,
+    prefix: str,
+    theta: float = 0.8,
+) -> list[Any]:
+    """Zipf-contended cross-site transfers for the net bench.
+
+    The source account is uniform (so no key drains pathologically) but
+    the destination site *and* key are Zipf-skewed: concurrent sessions
+    pile onto the same hot keys, which is exactly the load where O2PC's
+    early lock release and the daemon's group commit have to earn their
+    keep.  ``withdraw``/``deposit`` are pure additive ops, so every
+    transfer conserves the cluster-wide balance regardless of ordering.
+    """
+    from repro.txn.operations import SemanticOp
+    from repro.txn.transaction import GlobalTxnSpec, SubtxnSpec
+
+    rng = Rng(seed).fork(f"bench-net-{prefix}")
+    specs: list[Any] = []
+    for i in range(n):
+        src = rng.randint(0, len(site_ids) - 1)
+        dst = rng.zipf_index(len(site_ids), theta)
+        if dst == src:
+            dst = (dst + 1) % len(site_ids)
+        src_key = f"k{rng.randint(0, keys_per_site - 1)}"
+        dst_key = f"k{rng.zipf_index(keys_per_site, theta)}"
+        amount = rng.randint(1, 5)
+        specs.append(GlobalTxnSpec(
+            txn_id=f"{prefix}{i}",
+            subtxns=[
+                SubtxnSpec(site_ids[src], [
+                    SemanticOp("withdraw", src_key, {"amount": amount}),
+                ]),
+                SubtxnSpec(site_ids[dst], [
+                    SemanticOp("deposit", dst_key, {"amount": amount}),
+                ]),
+            ],
+        ))
+    return specs
+
+
+def _net_leg(
+    system: Any, specs: list[Any], sessions: int, time_scale: float,
+) -> dict[str, float]:
+    """Run one client leg against a live cluster; returns its metrics.
+
+    A fresh :class:`~repro.rt.client.NetClient` per leg keeps the
+    message/latency counters and connection state isolated; daemon-side
+    fsync and force counters are measured as before/after status deltas so
+    the legs share one cluster without polluting each other.
+    """
+    from repro.rt.client import NetClient
+
+    site_ids = system.cluster.site_ids
+    before = {s: system.site_status(s) for s in site_ids}
+    client = NetClient(
+        system.cluster, scheme=system.config.scheme, time_scale=time_scale,
+    )
+    wall, outcomes = _timed(
+        lambda: client.run_transactions(specs, sessions=sessions)
+    )
+    after = {s: system.site_status(s) for s in site_ids}
+    committed = sum(1 for o in outcomes if o.committed)
+    fsyncs = {
+        s: after[s]["fsyncs"] - before[s]["fsyncs"] for s in site_ids
+    }
+    forces = {
+        s: after[s]["forced_writes"] - before[s]["forced_writes"]
+        for s in site_ids
+    }
+    messages = client.transport.total_sent() + sum(
+        client.transport.delivered.values()
+    )
+    n = len(specs)
+    return {
+        "transactions": float(n),
+        "sessions": float(sessions),
+        "committed": float(committed),
+        "txns_per_s": n / wall if wall else 0.0,
+        "p50_latency_s": _percentile(client.latencies, 50),
+        "p99_latency_s": _percentile(client.latencies, 99),
+        "messages_per_txn": messages / n if n else 0.0,
+        "fsyncs_per_txn": (
+            sum(fsyncs.values()) / committed if committed else 0.0
+        ),
+        "site_fsyncs_per_txn": (
+            max(fsyncs.values()) / committed if committed else 0.0
+        ),
+        "forces_per_fsync": (
+            sum(forces.values()) / sum(fsyncs.values())
+            if sum(fsyncs.values()) else 0.0
+        ),
+    }
+
+
+def bench_net(
+    seed: int = 0,
+    sites: int = 3,
+    serial_transactions: int = 40,
+    pipelined_transactions: int = 200,
+    sessions: int = 16,
+    keys_per_site: int = 20,
+    time_scale: float = 0.004,
+) -> dict[str, dict[str, float]]:
+    """Serial vs pipelined throughput over real daemons and sockets.
+
+    One localhost cluster serves both legs.  The serial leg is the
+    PR-7-era shape — one coordinator at a time, each paying its round
+    trips and the 0.5-unit decision-log delay in full.  The pipelined leg
+    multiplexes ``sessions`` coordinators on one client loop, overlapping
+    those stalls; frame coalescing and WAL group commit then collapse the
+    resulting same-instant traffic into fewer syscalls and fsyncs.
+    ``speedup_vs_serial`` (pipelined / serial txns-per-s) is the gated
+    headline; ``site_fsyncs_per_txn`` is the group-commit proof (< 1
+    fsync per committed transaction at the busiest daemon).
+    """
+    from repro.commit.base import CommitScheme
+    from repro.harness.system import SystemConfig
+    from repro.rt.system import NetSystem
+
+    config = SystemConfig(
+        n_sites=sites, scheme=CommitScheme.O2PC, protocol="none",
+        keys_per_site=keys_per_site, seed=seed, backend="net",
+        time_scale=time_scale,
+    )
+    with NetSystem(config) as system:
+        site_ids = system.cluster.site_ids
+        serial = _net_leg(
+            system,
+            _net_transfer_specs(
+                site_ids, serial_transactions, keys_per_site, seed, "NS",
+            ),
+            sessions=1, time_scale=time_scale,
+        )
+        pipelined = _net_leg(
+            system,
+            _net_transfer_specs(
+                site_ids, pipelined_transactions, keys_per_site, seed, "NP",
+            ),
+            sessions=sessions, time_scale=time_scale,
+        )
+    pipelined["speedup_vs_serial"] = (
+        pipelined["txns_per_s"] / serial["txns_per_s"]
+        if serial["txns_per_s"] else 0.0
+    )
+    return {"net_serial": serial, "net_pipelined": pipelined}
+
+
 # -- workload: serialization-graph builds --------------------------------------
 
 
@@ -298,6 +460,25 @@ def run_scale(smoke: bool = False, seed: int = 0) -> dict[str, dict[str, Any]]:
         scale = bench_scale(seed=seed, transactions=100_000, repeats=1)
     header = {"schema": SCHEMA_VERSION, "smoke": smoke, "seed": seed}
     return {"BENCH_scale.json": {**header, "results": {"scale": scale}}}
+
+
+def run_net(smoke: bool = False, seed: int = 0) -> dict[str, dict[str, Any]]:
+    """The networked-runtime workload alone (``repro bench --net``).
+
+    ``smoke`` shrinks both legs to CI wall-time while keeping the 16-way
+    session window, so ``speedup_vs_serial`` stays comparable against the
+    committed ``benchmarks/baselines/BENCH_net.json``.
+    """
+    if smoke:
+        net = bench_net(
+            seed=seed, serial_transactions=30, pipelined_transactions=150,
+        )
+    else:
+        net = bench_net(
+            seed=seed, serial_transactions=60, pipelined_transactions=400,
+        )
+    header = {"schema": SCHEMA_VERSION, "smoke": smoke, "seed": seed}
+    return {"BENCH_net.json": {**header, "results": net}}
 
 
 def to_json(payload: dict[str, Any]) -> str:

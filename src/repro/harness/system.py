@@ -116,6 +116,9 @@ class SystemConfig:
     #: cluster file for backend="net" (site addresses + data_dir); None
     #: gives an ephemeral localhost cluster with a temporary data_dir
     sites_file: str | None = None
+    #: real seconds per simulation time unit for backend="net" daemons and
+    #: client (ignored by the sim backend, which runs as fast as possible)
+    time_scale: float = 0.01
     #: override of the coordinator's vote-collection timeout (simulation
     #: time units); None keeps :attr:`CommitConfig.vote_timeout`.  A
     #: top-level knob so experiment sweeps (``repro compare

@@ -1,0 +1,93 @@
+"""Capped exponential backoff with jitter for dead-link redial.
+
+PR 6's transport retired a dead link and re-dialed on the very next
+send, so a down daemon cost one TCP connect attempt (SYN, RST, task
+churn) per outbound message — a connect storm aimed at the cluster
+exactly when it is least healthy.  :class:`RedialPolicy` spaces the
+attempts exponentially (base, 2x, 4x, ... capped) and decorrelates them
+with deterministic per-transport jitter, so a fleet of clients does not
+stampede a daemon the instant it comes back.
+
+The schedule itself (:func:`backoff_delay`) is a pure function of the
+attempt number and an injectable RNG, which is what the unit tests pin.
+"""
+
+from __future__ import annotations
+
+import random
+import zlib
+
+
+def backoff_delay(
+    attempt: int,
+    *,
+    base: float = 0.05,
+    cap: float = 2.0,
+    jitter: float = 0.25,
+    rng: random.Random | None = None,  # lint: allow-nondeterminism
+) -> float:
+    """Delay in seconds before redial ``attempt`` (0-based).
+
+    ``base * 2**attempt`` capped at ``cap``, scaled by a uniform factor
+    in ``[1 - jitter, 1 + jitter]`` drawn from ``rng`` (no ``rng`` or
+    zero ``jitter`` means the undithered schedule).
+    """
+    if attempt < 0:
+        raise ValueError(f"attempt must be >= 0, got {attempt}")
+    delay = min(cap, base * (2.0 ** attempt))
+    if rng is not None and jitter > 0:
+        delay *= 1.0 + jitter * (2.0 * rng.random() - 1.0)
+    return delay
+
+
+class RedialPolicy:
+    """Per-peer redial gate: exponential spacing between connect attempts.
+
+    The transport asks :meth:`may_dial` before every connect; a refusal
+    means the peer is inside its backoff window and the message is
+    dropped without a syscall (the same ``unreachable`` bucket as a
+    refused connection).  Failures widen the window, one success resets
+    the peer to immediate redial.
+
+    Clock-free by design: callers pass ``now`` (the event loop's
+    monotonic ``loop.time()``), so tests can drive the schedule with a
+    fake clock.
+    """
+
+    def __init__(
+        self,
+        name: str = "",
+        *,
+        base: float = 0.05,
+        cap: float = 2.0,
+        jitter: float = 0.25,
+    ) -> None:
+        self.base = base
+        self.cap = cap
+        self.jitter = jitter
+        # Seeded from the transport's name: deterministic for a given
+        # process, decorrelated between processes — which is all the
+        # jitter is for.
+        self._rng = random.Random(zlib.crc32(name.encode("utf-8")))
+        self._failures: dict[str, int] = {}
+        self._not_before: dict[str, float] = {}
+
+    def may_dial(self, peer: str, now: float) -> bool:
+        """True when ``peer`` is outside its backoff window."""
+        return now >= self._not_before.get(peer, float("-inf"))
+
+    def record_failure(self, peer: str, now: float) -> float:
+        """Note a failed connect; returns the delay until the next try."""
+        attempt = self._failures.get(peer, 0)
+        delay = backoff_delay(
+            attempt, base=self.base, cap=self.cap,
+            jitter=self.jitter, rng=self._rng,
+        )
+        self._failures[peer] = attempt + 1
+        self._not_before[peer] = now + delay
+        return delay
+
+    def record_success(self, peer: str) -> None:
+        """A connect succeeded: reset ``peer`` to immediate redial."""
+        self._failures.pop(peer, None)
+        self._not_before.pop(peer, None)

@@ -13,13 +13,20 @@ missed timeout, which is the paper's failure model and what the protocol
 already handles.
 
 Each :meth:`run_transaction` call runs one event loop (dial, execute,
-hang up), which is the natural shape for the ``repro client`` CLI; the
-async surface (:meth:`submit`) is there for tests that multiplex.
+hang up), which is the natural shape for the ``repro client`` CLI.
+:meth:`run_pipelined` is the throughput shape: a bounded window of
+concurrent coordinator sessions multiplexed on one pump and one set of
+per-site connections.  Demultiplexing is free — every coordinator
+registers its own ``coord.<txn>`` endpoint, so inbound frames route by
+transaction id — and the unmodified engines run as concurrent
+simulation processes exactly like the sim's concurrent-coordinator
+bench.
 """
 
 from __future__ import annotations
 
 import asyncio
+import time
 from typing import Any
 
 from repro.commit.base import CommitConfig, CommitScheme
@@ -75,6 +82,8 @@ class NetClient:
             if self.engine.uses_acceptors else ()
         )
         self.outcomes: list[TxnOutcome] = []
+        #: wall-clock seconds per submitted transaction (completion order)
+        self.latencies: list[float] = []
         #: decisions some site never acknowledged: txn -> (decision,
         #: pending sites).  A daemon that was down for the decision round
         #: restarts *in doubt* and blocks until someone re-sends — that
@@ -85,6 +94,7 @@ class NetClient:
 
     async def submit(self, spec: GlobalTxnSpec) -> TxnOutcome:
         """Run one global transaction (the pump must already be running)."""
+        started = time.perf_counter()
         coordinator = self.engine.coordinator(
             env=self.env,
             network=self.transport,
@@ -100,6 +110,7 @@ class NetClient:
         )
         outcome: TxnOutcome = await self.pump.wait_for(proc)
         self.outcomes.append(outcome)
+        self.latencies.append(time.perf_counter() - started)
         if coordinator.decision_log:
             pending = [
                 s for s in coordinator.decision_sites
@@ -109,15 +120,16 @@ class NetClient:
                 self.pending_decisions[spec.txn_id] = (
                     coordinator.decision_log[-1], pending,
                 )
+        # The coordinator endpoint is done; late frames for it drop as
+        # unknown_endpoint instead of piling into a dead inbox.
+        self.transport.unregister(coordinator.endpoint)
         return outcome
 
-    async def run_session(
-        self, specs: list[GlobalTxnSpec]
-    ) -> list[TxnOutcome]:
-        """Run transactions sequentially under one pump/loop."""
+    async def _with_pump(self, body: Any) -> Any:
+        """Run ``body()`` with the pump running; tear both down after."""
         pump_task = asyncio.get_running_loop().create_task(self.pump.run())
         try:
-            return [await self.submit(spec) for spec in specs]
+            return await body()
         finally:
             self.pump.stop()
             try:
@@ -126,9 +138,55 @@ class NetClient:
                 pass
             await self.transport.close()
 
+    async def run_session(
+        self, specs: list[GlobalTxnSpec]
+    ) -> list[TxnOutcome]:
+        """Run transactions sequentially under one pump/loop."""
+
+        async def body() -> list[TxnOutcome]:
+            return [await self.submit(spec) for spec in specs]
+
+        return await self._with_pump(body)
+
+    async def run_pipelined(
+        self, specs: list[GlobalTxnSpec], sessions: int = 16,
+    ) -> list[TxnOutcome]:
+        """Run transactions through a bounded window of concurrent sessions.
+
+        Up to ``sessions`` coordinators are in flight at once, all
+        multiplexed on this client's pump and per-site connections; the
+        window keeps a burst of specs from opening thousands of
+        simultaneous coordinator processes.  Outcomes return in ``specs``
+        order (:attr:`outcomes` keeps completion order).
+        """
+        if sessions < 1:
+            raise ValueError(f"sessions must be >= 1, got {sessions}")
+        window = asyncio.Semaphore(sessions)
+        results: list[TxnOutcome | None] = [None] * len(specs)
+
+        async def one(index: int, spec: GlobalTxnSpec) -> None:
+            async with window:
+                results[index] = await self.submit(spec)
+
+        async def body() -> list[TxnOutcome]:
+            await asyncio.gather(
+                *(one(i, spec) for i, spec in enumerate(specs))
+            )
+            return [outcome for outcome in results if outcome is not None]
+
+        return await self._with_pump(body)
+
     def run_transaction(self, spec: GlobalTxnSpec) -> TxnOutcome:
         """Blocking convenience wrapper: one transaction, one event loop."""
         return asyncio.run(self.run_session([spec]))[0]
+
+    def run_transactions(
+        self, specs: list[GlobalTxnSpec], sessions: int = 1,
+    ) -> list[TxnOutcome]:
+        """Blocking wrapper: serial (``sessions=1``) or pipelined batch."""
+        if sessions <= 1:
+            return asyncio.run(self.run_session(specs))
+        return asyncio.run(self.run_pipelined(specs, sessions=sessions))
 
     # -- decision retransmission ---------------------------------------------
 
@@ -190,22 +248,7 @@ class NetClient:
 
     def resend_pending(self) -> dict[str, list[str]]:
         """Blocking wrapper for :meth:`resend_session` (own event loop)."""
-
-        async def _run() -> dict[str, list[str]]:
-            pump_task = asyncio.get_running_loop().create_task(
-                self.pump.run()
-            )
-            try:
-                return await self.resend_session()
-            finally:
-                self.pump.stop()
-                try:
-                    await pump_task
-                except asyncio.CancelledError:
-                    pass
-                await self.transport.close()
-
-        return asyncio.run(_run())
+        return asyncio.run(self._with_pump(self.resend_session))
 
 
 # -- admin helpers (status / shutdown frames) ---------------------------------

@@ -65,6 +65,10 @@ class ClusterConfig:
         """Path of one co-hosted acceptor's durable state file."""
         return os.path.join(self.data_dir, f"{acceptor_id}.json")
 
+    def events_path(self, site_id: str) -> str:
+        """Path of one site's observability event stream (JSONL)."""
+        return os.path.join(self.data_dir, f"{site_id}.events.jsonl")
+
     def route_site(self, endpoint_id: str) -> str | None:
         """The site daemon hosting ``endpoint_id``, or None.
 

@@ -36,6 +36,8 @@ from repro.net.message import MsgType
 from repro.protocols import acceptor_ids, engine_for
 from repro.protocols.acceptor import Acceptor
 from repro.rt.config import ClusterConfig
+from repro.rt.group_commit import GroupCommitFlusher
+from repro.rt.obs_sink import JsonlEventSink
 from repro.rt.pump import RealtimePump
 from repro.rt.transport import TcpTransport
 from repro.rt.wire import write_frame
@@ -71,6 +73,8 @@ class SiteDaemon:
         keys_per_site: int = 20,
         initial_value: int = 100,
         commit: CommitConfig | None = None,
+        group_commit: bool = True,
+        obs_path: str | None = None,
     ) -> None:
         self.site_id = site_id
         self.cluster = cluster
@@ -125,6 +129,18 @@ class SiteDaemon:
                 )
         #: recovery classification of the last restart (None on first boot)
         self.restart_report: RestartReport | None = None
+        #: fsync coalescing for the WAL (armed after boot when enabled);
+        #: the transport's durability gate routes every outbound frame
+        #: through its barrier, so a force point is never acknowledged
+        #: before its covering fsync
+        self.flusher = GroupCommitFlusher(self.site.wal)
+        self._group_commit = group_commit
+        #: per-site JSONL event stream (None = observability off)
+        self.obs_sink: JsonlEventSink | None = None
+        if obs_path is not None:
+            self.obs_sink = JsonlEventSink(obs_path)
+            self.env.bus.subscribe(self.obs_sink)
+            self.env.bus.enable()
         self._pump_task: Any = None
         self._stop = asyncio.Event()
 
@@ -150,6 +166,11 @@ class SiteDaemon:
                 name=f"recover:{self.site_id}",
             )
             self.restart_report = await self.pump.wait_for(proc)
+        # Arm group commit only after boot: the fresh-boot checkpoint and
+        # recovery's own force points must be on disk before we serve.
+        if self._group_commit:
+            self.site.wal.group_commit = True
+            self.transport.durability_gate = self.flusher.barrier
 
     async def run(self) -> None:
         """Serve until :meth:`stop` (or an admin shutdown frame)."""
@@ -172,6 +193,8 @@ class SiteDaemon:
             self._pump_task = None
         await self.transport.close()
         self.site.wal.close()
+        if self.obs_sink is not None:
+            self.obs_sink.close()
 
     # -- admin surface -------------------------------------------------------
 
@@ -184,6 +207,11 @@ class SiteDaemon:
             "fresh_boot": self.fresh_boot,
             "wal_records": len(self.site.wal),
             "torn_records_truncated": self.site.wal.torn_records_truncated,
+            "forced_writes": self.site.wal.forced_writes,
+            "fsyncs": self.site.wal.fsyncs,
+            "fsync_groups": self.flusher.groups,
+            "frames_sent": self.transport.frames_sent,
+            "messages_framed": self.transport.messages_framed,
             "keys": len(self.site.store.snapshot()),
             "subtxns": {
                 txn_id: {
@@ -206,6 +234,10 @@ class SiteDaemon:
     async def _handle_admin(self, body: dict[str, Any], writer: Any) -> None:
         cmd = body.get("cmd")
         if cmd == "status":
+            if self.obs_sink is not None:
+                # Probing a site also drains its event stream, so a
+                # collector sees everything up to this status snapshot.
+                self.obs_sink.flush()
             await write_frame(writer, {
                 "kind": "admin", "cmd": "status", "reply": self.status(),
             })

@@ -1,0 +1,118 @@
+"""Collectable observability for live clusters: per-site JSONL sinks.
+
+A ``SiteDaemon`` started with observability on subscribes a
+:class:`JsonlEventSink` to its bus, streaming every published event to
+``<data_dir>/<site_id>.events.jsonl`` — the same deterministic JSONL
+schema ``repro trace`` writes, appended across restarts so a recovered
+daemon's history stays in one file.
+
+The read side closes ROADMAP item 1's metrics gap: ``repro metrics
+--backend net --cluster c.json`` calls :func:`aggregate_cluster`, which
+replays every site's stream through the normal
+:class:`~repro.obs.metrics.StreamingMetrics` fold.  Commit/abort counts
+come from ``subtxn.decision`` events (the daemon-side record of a global
+decision) because ``txn.end`` is published on the *client's* bus, not
+the daemons'.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from repro.obs.events import DecisionApplied, Event
+from repro.obs.export import event_from_dict, event_to_dict
+from repro.obs.metrics import MetricsReport, StreamingMetrics
+from repro.rt.config import ClusterConfig
+
+
+class JsonlEventSink:
+    """Bus subscriber appending events to a JSONL file.
+
+    Appends (a restarted daemon continues its stream) and flushes every
+    ``flush_every`` events, so a collector reading a live cluster lags a
+    bounded amount; :meth:`flush` is called from the daemon's admin
+    ``status`` path so probing a site also drains its sink.
+    """
+
+    def __init__(self, path: str, flush_every: int = 64) -> None:
+        self.path = path
+        self.flush_every = flush_every
+        self._handle: Any = open(path, "a", encoding="utf-8")
+        self._unflushed = 0
+        self.events_written = 0
+
+    def __call__(self, event: Event) -> None:
+        if self._handle is None:  # pragma: no cover - post-close publish
+            return
+        self._handle.write(json.dumps(
+            event_to_dict(event), sort_keys=True, separators=(",", ":"),
+        ))
+        self._handle.write("\n")
+        self.events_written += 1
+        self._unflushed += 1
+        if self._unflushed >= self.flush_every:
+            self.flush()
+
+    def flush(self) -> None:
+        """Push buffered lines to the file."""
+        if self._handle is not None:
+            self._handle.flush()
+            self._unflushed = 0
+
+    def close(self) -> None:
+        """Flush and close the stream."""
+        if self._handle is not None:
+            self._handle.flush()
+            self._handle.close()
+            self._handle = None
+
+
+def read_events(path: str) -> list[Event]:
+    """Load one site's event stream back into typed events."""
+    events: list[Event] = []
+    with open(path, encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                events.append(event_from_dict(json.loads(line)))
+    return events
+
+
+def aggregate_cluster(
+    cluster: ClusterConfig,
+) -> tuple[MetricsReport, dict[str, int]]:
+    """Fold every site's event stream into one cluster-wide report.
+
+    Returns the report plus a per-site event count (sites with no stream
+    yet count zero — a daemon started without ``--obs``, or not yet
+    flushed).  Latency percentiles in the report are lock-hold driven;
+    end-to-end commit latency lives client-side and in ``BENCH_net.json``.
+    """
+    import os
+
+    metrics = StreamingMetrics()
+    per_site: dict[str, int] = {}
+    decisions: dict[str, str] = {}
+    elapsed = 0.0
+    for site_id in cluster.site_ids:
+        path = cluster.events_path(site_id)
+        if not os.path.exists(path):
+            per_site[site_id] = 0
+            continue
+        events = read_events(path)
+        per_site[site_id] = len(events)
+        for event in events:
+            metrics(event)
+            if event.ts > elapsed:
+                elapsed = event.ts
+            if isinstance(event, DecisionApplied):
+                decisions[event.txn_id] = event.decision
+    # One global decision per txn, however many sites applied it.
+    metrics.committed = sum(
+        1 for decision in decisions.values() if decision == "COMMIT"
+    )
+    metrics.aborted = sum(
+        1 for decision in decisions.values() if decision != "COMMIT"
+    )
+    return metrics.report(elapsed or None), per_site

@@ -30,7 +30,16 @@ from repro.sim.events import Event
 
 
 class RealtimePump:
-    """Drives one :class:`Environment` against the asyncio clock."""
+    """Drives one :class:`Environment` against the asyncio clock.
+
+    The wait primitive is a bare future resolved either by
+    :meth:`kick` (external input: ``True``) or by a ``call_later``
+    deadline (the next scheduled simulation event: ``False``).  The
+    original implementation parked on ``asyncio.wait_for(event.wait())``,
+    which costs a wrapper Task plus an inner ``Event.wait()`` coroutine
+    per pump iteration — measurable overhead once pipelined sessions
+    push thousands of drains per second through one loop.
+    """
 
     def __init__(
         self, env: Environment, time_scale: float = 0.01,
@@ -39,14 +48,21 @@ class RealtimePump:
             raise ValueError(f"time_scale must be positive, got {time_scale}")
         self.env = env
         self.time_scale = time_scale
-        self._kick = asyncio.Event()
+        #: future the run loop is parked on (None while draining)
+        self._waiter: Any = None
+        #: a kick arrived while no waiter was armed
+        self._pending_kick = False
         self._running = False
 
     # -- external wake-ups ---------------------------------------------------
 
     def kick(self) -> None:
         """Wake the pump: externally injected events are ready to run."""
-        self._kick.set()
+        waiter = self._waiter
+        if waiter is not None and not waiter.done():
+            waiter.set_result(True)
+        else:
+            self._pending_kick = True
 
     # -- the pump loop -------------------------------------------------------
 
@@ -63,29 +79,42 @@ class RealtimePump:
         propagate out of this coroutine — the host decides whether that
         kills the daemon or the client call.
         """
-        # A fresh kick event per run: asyncio.Event binds to the loop it
-        # is first awaited on, and a client may pump once per event loop
-        # (run_transaction, then resend_pending on a new loop).
-        self._kick = asyncio.Event()
         self._running = True
         env = self.env
-        while self._running:
-            self._drain_due()
-            next_at = env.peek()
-            if next_at == float("inf"):
-                # Nothing scheduled: wait for external input.
-                await self._kick.wait()
-                self._kick.clear()
-                continue
-            delay = (next_at - env.now) * self.time_scale
-            try:
-                await asyncio.wait_for(self._kick.wait(), timeout=delay)
-                self._kick.clear()
-                # New work was injected at the current instant; loop to
-                # drain it without advancing the clock early.
-                continue
-            except asyncio.TimeoutError:
-                env.run(until=next_at)
+        loop = asyncio.get_running_loop()
+        try:
+            while self._running:
+                self._drain_due()
+                if self._pending_kick:
+                    # Kicked mid-drain: re-drain before parking, in case
+                    # the injected event landed at the current instant.
+                    self._pending_kick = False
+                    continue
+                next_at = env.peek()
+                self._waiter = waiter = loop.create_future()
+                if next_at == float("inf"):
+                    # Nothing scheduled: wait for external input.
+                    await waiter
+                    self._waiter = None
+                    continue
+                delay = (next_at - env.now) * self.time_scale
+                deadline = loop.call_later(delay, self._on_deadline, waiter)
+                try:
+                    kicked = await waiter
+                finally:
+                    self._waiter = None
+                    deadline.cancel()
+                if not kicked:
+                    env.run(until=next_at)
+                # else: new work was injected at the current instant;
+                # loop to drain it without advancing the clock early.
+        finally:
+            self._waiter = None
+
+    @staticmethod
+    def _on_deadline(waiter: Any) -> None:
+        if not waiter.done():
+            waiter.set_result(False)
 
     def stop(self) -> None:
         """Ask the pump loop to exit after the current iteration."""

@@ -87,6 +87,7 @@ class NetSystem:
             scheme=config.scheme,
             protocol=config.protocol,
             commit=config.commit,
+            time_scale=config.time_scale,
         )
         self.outcomes = self.client.outcomes
 
@@ -97,11 +98,14 @@ class NetSystem:
         argv = [
             sys.executable, "-m", "repro", "serve", site_id,
             "--cluster", self.cluster_file,
+            "--time-scale", repr(self.config.time_scale),
         ]
         if isinstance(self.config.protocol, str):
             argv += ["--protocol", self.config.protocol]
         if self.config.scheme.name != "O2PC":
             argv += ["--scheme", self.config.scheme.name]
+        if self.config.observability:
+            argv += ["--obs"]
         return argv
 
     @property
@@ -185,6 +189,12 @@ class NetSystem:
     def run_transaction(self, spec: GlobalTxnSpec) -> TxnOutcome:
         """Run one global transaction against the live cluster."""
         return self.client.run_transaction(spec)
+
+    def run_transactions(
+        self, specs: list[GlobalTxnSpec], sessions: int = 1,
+    ) -> list[TxnOutcome]:
+        """Run a batch against the live cluster (pipelined when >1)."""
+        return self.client.run_transactions(specs, sessions=sessions)
 
 
 def open_system(config: Any) -> Any:

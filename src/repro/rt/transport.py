@@ -6,10 +6,20 @@ the process's simulation environment; everything else is reached over TCP
 using the cluster's site list:
 
 * messages to a configured site are sent over a per-site outbound
-  connection (dialed on demand, redialed once after a failure);
+  connection (dialed on demand, redialed under capped exponential
+  backoff with jitter after failures — see :mod:`repro.rt.backoff`);
 * messages to a non-site endpoint (a coordinator, e.g. ``coord.T1``) are
   sent over the connection that endpoint last used to reach us — the
   return-route table every socketed TM keeps, learned from inbound frames.
+
+Outbound traffic is *coalesced*: ``send()`` only enqueues, and a single
+flush task drains the queue once the pump yields, packing every message
+bound for the same peer connection into one multi-frame batch payload —
+one ``writev``-shaped syscall per peer per drain instead of one task and
+one syscall per message.  Before anything touches a socket the flush
+awaits the host's :attr:`~TcpTransport.durability_gate` (the daemon's WAL
+group-commit barrier), which is what lets the WAL defer its fsyncs: no
+frame can reveal a force point that is not yet on disk.
 
 Failure semantics match the simulated :class:`~repro.net.network.Network`
 by contract (see :mod:`repro.net.transport`): an unreachable recipient —
@@ -33,13 +43,15 @@ from typing import Any, Awaitable, Callable
 from repro.errors import UnknownSiteError
 from repro.net.message import Message, MsgType
 from repro.obs.events import MessageDelivered, MessageDropped, MessageSent
+from repro.rt.backoff import RedialPolicy
 from repro.rt.config import ClusterConfig
 from repro.rt.pump import RealtimePump
 from repro.rt.wire import (
+    encode_batch,
     message_from_json,
     message_to_json,
     read_frame,
-    write_frame,
+    unbatch,
 )
 from repro.sim.engine import Environment
 from repro.sim.events import Event
@@ -94,13 +106,28 @@ class TcpTransport:
         self._routes: dict[str, Any] = {}
         self._server: Any = None
         self._conn_tasks: set[Any] = set()
-        self._send_tasks: set[Any] = set()
+        #: messages awaiting the next outbound flush (coalescing queue)
+        self._outbound: list[Message] = []
+        self._flush_task: Any = None
+        #: host hook awaited before outbound frames hit the socket; the
+        #: daemon installs its WAL group-commit barrier here so no frame
+        #: can acknowledge a force point before its covering fsync
+        self.durability_gate: Callable[[], Awaitable[None]] | None = None
+        #: redial schedule for dead peer sites (capped exponential + jitter)
+        self.redial = RedialPolicy(local_site or "client")
         #: host hook for admin frames (status/shutdown); unset drops them
         self.admin_handler: AdminHandler | None = None
         # -- counters, same shape as Network's (metrics + conformance) --
         self.sent: Counter[MsgType] = Counter()
         self.delivered: Counter[MsgType] = Counter()
         self.dropped: Counter[MsgType] = Counter()
+        # -- wire-level accounting (batching effectiveness) --
+        #: connect attempts (the backoff tests pin this)
+        self.dials = 0
+        #: frames written to sockets (each one syscall's worth)
+        self.frames_sent = 0
+        #: protocol messages carried inside those frames
+        self.messages_framed = 0
 
     # -- Transport surface ---------------------------------------------------
 
@@ -125,11 +152,23 @@ class TcpTransport:
         """Event yielding the next message for a local endpoint."""
         return self.inbox(endpoint_id).get()
 
+    def unregister(self, endpoint_id: str) -> None:
+        """Drop a finished endpoint's inbox (a completed coordinator).
+
+        Pipelined clients run thousands of coordinators per connection;
+        without this the inbox table grows one dead Store per transaction.
+        Late frames for the endpoint fall into the ``unknown_endpoint``
+        drop bucket, same as any other unaddressed message.
+        """
+        self._inboxes.pop(endpoint_id, None)
+
     def send(self, message: Message) -> None:
         """Send ``message``; remote delivery happens on the event loop.
 
         Called from protocol code running inside the pump, so an event
-        loop is guaranteed to be running.
+        loop is guaranteed to be running.  Remote messages are queued and
+        coalesced: the flush task drains the queue once the pump yields,
+        so everything produced by one drain shares syscalls.
         """
         message.send_time = self.env.now
         self.sent[message.msg_type] += 1
@@ -142,11 +181,11 @@ class TcpTransport:
         if message.recipient in self._inboxes:
             self._deliver_local(message)
             return
-        task = asyncio.get_running_loop().create_task(
-            self._send_remote(message)
-        )
-        self._send_tasks.add(task)
-        task.add_done_callback(self._send_tasks.discard)
+        self._outbound.append(message)
+        if self._flush_task is None:
+            self._flush_task = asyncio.get_running_loop().create_task(
+                self._flush_outbound()
+            )
 
     # -- local delivery ------------------------------------------------------
 
@@ -175,22 +214,65 @@ class TcpTransport:
 
     # -- remote delivery -----------------------------------------------------
 
-    async def _send_remote(self, message: Message) -> None:
-        writer = await self._writer_for(message.recipient)
-        if writer is None:
-            # Same bucket as the simulation's recipient_down/severed drops.
-            self._drop(message, "unreachable")
-            return
+    async def _flush_outbound(self) -> None:
+        """Drain the coalescing queue: one batch payload per peer.
+
+        Runs as the single outbound task.  Each pass first awaits the
+        durability gate (group commit: every force point appended before
+        these messages were queued gets its covering fsync), then snapshots
+        the queue, resolves a writer per message, and writes one
+        multi-frame batch per distinct connection.  Messages with no
+        usable route fall into the same ``unreachable``/``connection_reset``
+        drop buckets as before — coalescing changes the syscall count,
+        not the failure semantics.
+        """
         try:
-            await write_frame(writer, message_to_json(message))
-        except (ConnectionError, OSError):
-            # Connection reset while the frame was in flight: the TCP
-            # analogue of the simulated severed-in-flight drop.
-            self._drop(message, "connection_reset")
-            link = self._links.get(message.recipient)
-            if link is not None and link.writer is writer:
+            while self._outbound:
+                if self.durability_gate is not None:
+                    await self.durability_gate()
+                batch = self._outbound
+                self._outbound = []
+                by_writer: dict[int, tuple[Any, list[Message]]] = {}
+                for message in batch:
+                    writer = await self._writer_for(message.recipient)
+                    if writer is None:
+                        # Same bucket as the sim's recipient_down drops.
+                        self._drop(message, "unreachable")
+                        continue
+                    by_writer.setdefault(
+                        id(writer), (writer, [])
+                    )[1].append(message)
+                for writer, messages in by_writer.values():
+                    frames = encode_batch(
+                        [message_to_json(m) for m in messages]
+                    )
+                    try:
+                        for frame in frames:
+                            writer.write(frame)
+                        await writer.drain()
+                        self.frames_sent += len(frames)
+                        self.messages_framed += len(messages)
+                    except (ConnectionError, OSError):
+                        # Reset while the batch was in flight: the TCP
+                        # analogue of the severed-in-flight drop.
+                        for message in messages:
+                            self._drop(message, "connection_reset")
+                        await self._retire_writer(writer)
+        finally:
+            self._flush_task = None
+
+    async def _retire_writer(self, writer: Any) -> None:
+        """Forget a dead connection everywhere it is referenced."""
+        for site_id, link in list(self._links.items()):
+            if link.writer is writer:
+                self._links.pop(site_id, None)
                 await link.close()
-                self._links.pop(message.recipient, None)
+        self._prune_routes(writer)
+
+    def _prune_routes(self, writer: Any) -> None:
+        for endpoint, route in list(self._routes.items()):
+            if route is writer:
+                self._routes.pop(endpoint, None)
 
     async def _writer_for(self, endpoint_id: str) -> Any:
         # Co-hosted endpoints (Paxos acceptors) route to their daemon.
@@ -209,11 +291,18 @@ class TcpTransport:
         return None
 
     async def _dial(self, site_id: str) -> _PeerLink | None:
+        loop = asyncio.get_running_loop()
+        if not self.redial.may_dial(site_id, loop.time()):
+            # Inside the backoff window: drop without a connect storm.
+            return None
         spec = self.cluster.site(site_id)
+        self.dials += 1
         try:
             reader, writer = await asyncio.open_connection(*spec.address)
         except (ConnectionError, OSError):
+            self.redial.record_failure(site_id, loop.time())
             return None
+        self.redial.record_success(site_id)
         task = asyncio.get_running_loop().create_task(
             self._read_loop(reader, writer)
         )
@@ -226,6 +315,7 @@ class TcpTransport:
             if self._links.get(site_id) is link:
                 self._links.pop(site_id, None)
             if link.writer is not None:
+                self._prune_routes(link.writer)
                 link.writer.close()
                 link.writer = None
 
@@ -253,36 +343,51 @@ class TcpTransport:
             pass
         finally:
             self._conn_tasks.discard(task)
+            self._prune_routes(writer)
             writer.close()
 
     async def _read_loop(self, reader: Any, writer: Any) -> None:
-        """Shared frame loop for inbound connections and dialed links."""
+        """Shared frame loop for inbound connections and dialed links.
+
+        A wire frame may be a singleton or a batch envelope; either way
+        every carried body goes through the same per-kind handling, so
+        counters and delivery order are identical to unbatched framing.
+        """
         while True:
             try:
                 body = await read_frame(reader)
+                bodies = unbatch(body) if body is not None else None
             except Exception:
                 return
-            if body is None:
+            if bodies is None:
                 return
-            kind = body.get("kind")
-            if kind == "msg":
-                message = message_from_json(body)
-                # Learn the return route: replies to this sender go back
-                # over this connection.
-                self._routes[message.sender] = writer
-                if message.recipient in self._inboxes:
-                    self._deliver_local(message)
-                else:
-                    self._drop(message, "unknown_endpoint")
-            elif kind == "admin" and self.admin_handler is not None:
-                await self.admin_handler(body, writer)
+            for sub in bodies:
+                kind = sub.get("kind")
+                if kind == "msg":
+                    message = message_from_json(sub)
+                    # Learn the return route: replies to this sender go
+                    # back over this connection.
+                    self._routes[message.sender] = writer
+                    if message.recipient in self._inboxes:
+                        self._deliver_local(message)
+                    else:
+                        self._drop(message, "unknown_endpoint")
+                elif kind == "admin" and self.admin_handler is not None:
+                    await self.admin_handler(sub, writer)
 
     # -- lifecycle -----------------------------------------------------------
 
     async def close(self) -> None:
         """Close the server, every link, and cancel in-flight sends."""
-        for task in list(self._send_tasks):
+        task = self._flush_task
+        if task is not None:
             task.cancel()
+            try:
+                await task
+            except (asyncio.CancelledError, Exception):
+                pass
+            self._flush_task = None
+        self._outbound.clear()
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()

@@ -13,6 +13,12 @@ object.  Two frame kinds travel on the same connection:
   tests.  Admin frames are *not* part of the protocol vocabulary — they
   never reach the Participant's dispatch loop, so the ``MsgType``
   message-count claims (CLAIM-MSG) are unaffected.
+* ``{"kind": "batch", "frames": [...]}`` — several ``msg`` bodies
+  coalesced into one frame (one length prefix, one syscall at each end).
+  The envelope is strictly an optimization: :func:`encode_batch` emits a
+  lone message as a plain ``msg`` frame, so a peer that predates the
+  envelope still parses everything a lightly loaded sender produces, and
+  :func:`unbatch` maps any inbound body back to the flat message list.
 
 The framing mirrors the WAL's on-disk format choice: explicit lengths make
 torn frames detectable, and a reader never blocks past a frame boundary.
@@ -122,6 +128,61 @@ def message_from_json(data: dict[str, Any]) -> Message:
         )
     except (KeyError, ValueError) as exc:
         raise WireError(f"malformed message frame: {exc}") from exc
+
+
+# -- batching -----------------------------------------------------------------
+
+#: keep batch frames comfortably under MAX_FRAME (payload sizes are
+#: estimated from the member payloads, before envelope overhead)
+_BATCH_BUDGET = MAX_FRAME // 2
+
+
+def encode_batch(bodies: list[dict[str, Any]]) -> list[bytes]:
+    """Encode message bodies into the fewest wire frames.
+
+    One body stays a plain singleton frame (legacy peers parse it
+    unchanged); several bodies share one ``batch`` envelope; a batch
+    whose members approach ``MAX_FRAME`` is split across frames.
+    """
+    frames: list[bytes] = []
+    chunk: list[dict[str, Any]] = []
+    chunk_bytes = 0
+    for body in bodies:
+        size = len(json.dumps(body, sort_keys=True, separators=(",", ":")))
+        if chunk and chunk_bytes + size > _BATCH_BUDGET:
+            frames.append(_encode_chunk(chunk))
+            chunk, chunk_bytes = [], 0
+        chunk.append(body)
+        chunk_bytes += size
+    if chunk:
+        frames.append(_encode_chunk(chunk))
+    return frames
+
+
+def _encode_chunk(chunk: list[dict[str, Any]]) -> bytes:
+    if len(chunk) == 1:
+        return encode_frame(chunk[0])
+    return encode_frame({"kind": "batch", "frames": chunk})
+
+
+def unbatch(body: dict[str, Any]) -> list[dict[str, Any]]:
+    """Flatten one inbound frame body into its message bodies.
+
+    A non-batch body is its own singleton; a batch envelope yields its
+    members in order.  Nesting is rejected — the sender never produces
+    it, so seeing one means a corrupt or hostile peer.
+    """
+    if body.get("kind") != "batch":
+        return [body]
+    members = body.get("frames")
+    if not isinstance(members, list):
+        raise WireError("batch envelope without a frames list")
+    for member in members:
+        if not isinstance(member, dict) or "kind" not in member:
+            raise WireError("batch member is not a tagged object")
+        if member.get("kind") == "batch":
+            raise WireError("nested batch envelope")
+    return members
 
 
 # -- framing ------------------------------------------------------------------

@@ -129,6 +129,20 @@ class WriteAheadLog:
         #: force-write counter (metrics: 2PC forced log writes are the
         #: protocol's durability cost)
         self.forced_writes = 0
+        #: actual ``fsync`` calls issued on the backing file; with group
+        #: commit one fsync covers many force points, so fsyncs <
+        #: forced_writes is the whole point of the optimization
+        self.fsyncs = 0
+        #: group-commit mode: a forced append marks the log *sync-needed*
+        #: instead of fsyncing inline; an external flusher (the daemon's
+        #: :class:`~repro.rt.group_commit.GroupCommitFlusher`) later calls
+        #: :meth:`sync` once for the whole group.  The durability contract
+        #: shifts, it does not weaken: the host must not acknowledge a
+        #: forced record (send the frame that reveals it) before the
+        #: covering sync — the transport's durability gate enforces that.
+        self.group_commit = False
+        #: force points appended since the last fsync (group-commit mode)
+        self._pending_forces = 0
         #: backing file (None = purely in-memory, the sim backend)
         self.path = path
         #: torn/corrupt trailing frames dropped when the file was opened
@@ -211,7 +225,10 @@ class WriteAheadLog:
             _FRAME_HEADER.pack(len(payload), zlib.crc32(payload)) + payload
         )
         if force:
-            self._flush_buffer()
+            if self.group_commit:
+                self._pending_forces += 1
+            else:
+                self._flush_buffer()
 
     def _flush_buffer(self) -> None:
         """Write buffered frames in one call, then flush and fsync."""
@@ -220,6 +237,24 @@ class WriteAheadLog:
             self._write_buffer.clear()
         self._file.flush()
         os.fsync(self._file.fileno())
+        self.fsyncs += 1
+        self._pending_forces = 0
+
+    @property
+    def needs_sync(self) -> bool:
+        """True when deferred force points await their covering fsync."""
+        return self._file is not None and self._pending_forces > 0
+
+    def sync(self) -> int:
+        """Flush every deferred force point in one fsync (group commit).
+
+        Returns how many force points the fsync covered — the group size,
+        which the flusher uses to adapt its hold window.
+        """
+        covered = self._pending_forces
+        if self._file is not None and (covered or self._write_buffer):
+            self._flush_buffer()
+        return covered
 
     def _rewrite_file(self) -> None:
         """Rewrite the backing file from the retained records (truncation)."""

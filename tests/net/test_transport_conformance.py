@@ -266,3 +266,129 @@ class TestTcpTransportContract:
                 await server.close()
 
         self.run_async(scenario())
+
+
+class TestFramingConformance:
+    """Batched and singleton framing are observationally identical.
+
+    The coalescing sender packs every same-drain message for one peer
+    into one multi-frame payload; a legacy (or scripted-test) peer sends
+    one plain frame per message.  The receiver must not be able to tell:
+    same inbox order, same per-type delivered counters.  The simulated
+    Network is the third point of the triangle — its same-tick burst
+    defines the expected observable behavior.
+    """
+
+    def burst(self, recipient):
+        return [
+            msg(recipient, msg_type=MsgType.SUBTXN_REQ, txn="T0"),
+            msg(recipient, msg_type=MsgType.VOTE_REQ, txn="T1"),
+            msg(recipient, msg_type=MsgType.DECISION, txn="T2"),
+        ]
+
+    @staticmethod
+    def observed(transport, endpoint):
+        items = transport.inbox(endpoint).items
+        return (
+            [(m.msg_type, m.txn_id) for m in items],
+            {t: n for t, n in transport.delivered.items() if n},
+        )
+
+    def expected(self):
+        # The simulated network's same-tick burst: the reference order.
+        env = Environment()
+        net = Network(env, rng=Rng(0), latency=LatencyModel(base=1.0))
+        net.register("A")
+        net.register("B")
+        for m in self.burst("B"):
+            net.send(m)
+        env.run()
+        return self.observed(net, "B")
+
+    def test_coalesced_send_matches_the_sim_reference(self):
+        async def scenario():
+            server, client = await TestTcpTransportContract.make_pair()
+            try:
+                for m in self.burst("S1"):
+                    client.send(m)
+                await TestTcpTransportContract.settle()
+                order, delivered = self.observed(server, "S1")
+                # the burst really was coalesced: fewer frames than
+                # messages left the client
+                assert client.messages_framed == 3
+                assert client.frames_sent < client.messages_framed
+                return order, delivered
+            finally:
+                await client.close()
+                await server.close()
+
+        expected_order, expected_delivered = self.expected()
+        order, delivered = asyncio.run(scenario())
+        assert order == expected_order
+        assert delivered == expected_delivered
+
+    def test_legacy_singleton_frames_match_the_sim_reference(self):
+        from repro.rt.wire import message_to_json, write_frame
+
+        async def scenario():
+            server, client = await TestTcpTransportContract.make_pair()
+            try:
+                spec = server.cluster.site("S1")
+                _, writer = await asyncio.open_connection(*spec.address)
+                for m in self.burst("S1"):
+                    await write_frame(writer, message_to_json(m))
+                await TestTcpTransportContract.settle()
+                writer.close()
+                return self.observed(server, "S1")
+            finally:
+                await client.close()
+                await server.close()
+
+        assert asyncio.run(scenario()) == self.expected()
+
+    def test_explicit_batch_envelope_matches_the_sim_reference(self):
+        from repro.rt.wire import encode_batch, message_to_json
+
+        async def scenario():
+            server, client = await TestTcpTransportContract.make_pair()
+            try:
+                spec = server.cluster.site("S1")
+                _, writer = await asyncio.open_connection(*spec.address)
+                frames = encode_batch(
+                    [message_to_json(m) for m in self.burst("S1")]
+                )
+                assert len(frames) == 1  # one envelope, one write
+                writer.write(frames[0])
+                await writer.drain()
+                await TestTcpTransportContract.settle()
+                writer.close()
+                return self.observed(server, "S1")
+            finally:
+                await client.close()
+                await server.close()
+
+        assert asyncio.run(scenario()) == self.expected()
+
+    def test_malformed_batch_closes_the_connection_not_the_daemon(self):
+        from repro.rt.wire import encode_frame
+
+        async def scenario():
+            server, client = await TestTcpTransportContract.make_pair()
+            try:
+                spec = server.cluster.site("S1")
+                _, writer = await asyncio.open_connection(*spec.address)
+                writer.write(encode_frame(
+                    {"kind": "batch", "frames": "not-a-list"}
+                ))
+                await writer.drain()
+                await TestTcpTransportContract.settle()
+                writer.close()
+                # The daemon survives and still serves well-formed peers.
+                client.send(msg("S1"))
+                await TestTcpTransportContract.settle()
+                assert server.delivered[MsgType.SUBTXN_REQ] == 1
+            finally:
+                await client.close()
+                await server.close()
+
+        asyncio.run(scenario())

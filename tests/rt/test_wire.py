@@ -13,11 +13,13 @@ from repro.rt.wire import (
     MAX_FRAME,
     WireError,
     decode_frame,
+    encode_batch,
     encode_frame,
     message_from_json,
     message_to_json,
     op_from_json,
     op_to_json,
+    unbatch,
 )
 from repro.txn.operations import ReadOp, SemanticOp, WriteOp
 from repro.txn.transaction import VotePolicy
@@ -101,3 +103,61 @@ class TestFraming:
     def test_non_json_refused(self):
         with pytest.raises(WireError):
             decode_frame(b"\x00\x01garbage")
+
+
+class TestBatching:
+    def body(self, n):
+        return {"kind": "msg", "type": "VOTE", "sender": f"S{n}",
+                "recipient": "coord.T1", "txn": "T1",
+                "payload": {"vote": "YES"}}
+
+    def test_one_body_stays_a_plain_singleton_frame(self):
+        # Legacy peers (and the scripted fake daemons in the test suite)
+        # parse each frame with message_from_json directly, so a lone
+        # message must never grow a batch envelope.
+        frames = encode_batch([self.body(1)])
+        assert len(frames) == 1
+        length = int.from_bytes(frames[0][:4], "big")
+        assert decode_frame(frames[0][4:]) == self.body(1)
+        assert length == len(frames[0]) - 4
+
+    def test_many_bodies_share_one_envelope(self):
+        bodies = [self.body(n) for n in range(5)]
+        frames = encode_batch(bodies)
+        assert len(frames) == 1
+        envelope = decode_frame(frames[0][4:])
+        assert envelope["kind"] == "batch"
+        assert unbatch(envelope) == bodies
+
+    def test_unbatch_of_a_singleton_is_identity(self):
+        assert unbatch(self.body(1)) == [self.body(1)]
+
+    def test_roundtrip_preserves_order(self):
+        bodies = [self.body(n) for n in range(9)]
+        out = []
+        for frame in encode_batch(bodies):
+            out.extend(unbatch(decode_frame(frame[4:])))
+        assert out == bodies
+
+    def test_oversized_batches_split_across_frames(self):
+        big = [{"kind": "msg", "blob": "x" * (MAX_FRAME // 3)}
+               for _ in range(4)]
+        frames = encode_batch(big)
+        assert len(frames) > 1
+        out = []
+        for frame in frames:
+            out.extend(unbatch(decode_frame(frame[4:])))
+        assert out == big
+
+    def test_nested_batch_refused(self):
+        with pytest.raises(WireError):
+            unbatch({"kind": "batch",
+                     "frames": [{"kind": "batch", "frames": []}]})
+
+    def test_untagged_member_refused(self):
+        with pytest.raises(WireError):
+            unbatch({"kind": "batch", "frames": [{"no": "kind"}]})
+
+    def test_missing_frames_list_refused(self):
+        with pytest.raises(WireError):
+            unbatch({"kind": "batch", "frames": "nope"})

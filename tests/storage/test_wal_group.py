@@ -1,0 +1,107 @@
+"""Group commit: deferred force points, one covering fsync, same durability.
+
+With ``group_commit`` on, a forced append no longer fsyncs inline — it
+marks the log *sync-needed* and an external flusher later calls
+:meth:`WriteAheadLog.sync` once for the whole group.  The durability
+contract shifts to the host: a forced record must not be acknowledged
+(i.e. no frame revealing it may leave the daemon) before the covering
+fsync.  These tests pin the mechanics the daemon relies on: deferral is
+real (a kill before sync loses the record), sync is real (a kill after
+sync does not), counters are exact, and torn-tail recovery is unchanged.
+"""
+
+from repro.storage.wal import RecordType, WriteAheadLog
+
+
+def wal_at(tmp_path, group=True):
+    wal = WriteAheadLog("S1", path=str(tmp_path / "site.wal"))
+    wal.group_commit = group
+    return wal
+
+
+def reopen(tmp_path):
+    # A fresh WriteAheadLog on the same path is exactly what daemon
+    # restart does; opening without closing the writer models kill -9
+    # (the dying process never flushes its buffers).
+    return WriteAheadLog("S1", path=str(tmp_path / "site.wal"))
+
+
+class TestDeferredForce:
+    def test_forced_append_is_not_durable_before_sync(self, tmp_path):
+        wal = wal_at(tmp_path)
+        wal.append(RecordType.BEGIN, "T1")
+        wal.append(RecordType.PREPARE, "T1", force=True)
+        assert wal.needs_sync
+        # kill -9 before the flusher ran: nothing reached the file
+        assert len(reopen(tmp_path)) == 0
+
+    def test_sync_makes_the_group_durable(self, tmp_path):
+        wal = wal_at(tmp_path)
+        wal.append(RecordType.BEGIN, "T1")
+        wal.append(RecordType.PREPARE, "T1", force=True)
+        wal.append(RecordType.BEGIN, "T2")
+        wal.append(RecordType.PREPARE, "T2", force=True)
+        covered = wal.sync()
+        assert covered == 2
+        assert not wal.needs_sync
+        # kill -9 after the covering fsync: the whole group survives
+        types = [r.record_type for r in reopen(tmp_path)]
+        assert types == [
+            RecordType.BEGIN, RecordType.PREPARE,
+            RecordType.BEGIN, RecordType.PREPARE,
+        ]
+
+    def test_one_fsync_covers_many_forces(self, tmp_path):
+        wal = wal_at(tmp_path)
+        for i in range(5):
+            wal.append(RecordType.PREPARE, f"T{i}", force=True)
+        assert wal.fsyncs == 0
+        assert wal.forced_writes == 5
+        assert wal.sync() == 5
+        assert wal.fsyncs == 1
+
+    def test_sync_without_pending_forces_is_a_noop(self, tmp_path):
+        wal = wal_at(tmp_path)
+        assert wal.sync() == 0
+        assert wal.fsyncs == 0
+
+    def test_unforced_records_ride_the_group(self, tmp_path):
+        wal = wal_at(tmp_path)
+        wal.append(RecordType.BEGIN, "T1")
+        wal.append(RecordType.UPDATE, "T1", key="k0", before=0, after=1)
+        wal.append(RecordType.LOCAL_COMMIT, "T1", force=True)
+        wal.sync()
+        assert len(reopen(tmp_path)) == 3
+
+
+class TestInlineModeUnchanged:
+    def test_forced_append_fsyncs_inline_without_group_commit(self, tmp_path):
+        wal = wal_at(tmp_path, group=False)
+        wal.append(RecordType.PREPARE, "T1", force=True)
+        wal.append(RecordType.PREPARE, "T2", force=True)
+        assert wal.fsyncs == 2
+        assert not wal.needs_sync
+        assert len(reopen(tmp_path)) == 2
+
+
+class TestRecoveryUnchanged:
+    def test_torn_tail_is_still_truncated_in_group_mode(self, tmp_path):
+        wal = wal_at(tmp_path)
+        wal.append(RecordType.COMMIT, "T1", force=True)
+        wal.sync()
+        wal.close()
+        # A frame half-written at kill time: header promising more bytes
+        # than follow.
+        with open(tmp_path / "site.wal", "ab") as handle:
+            handle.write(b"\x00\x00\x00\xff\x00\x00\x00\x00torn")
+        reopened = wal_at(tmp_path)
+        assert reopened.torn_records_truncated == 1
+        assert [r.record_type for r in reopened] == [RecordType.COMMIT]
+        # and the tail is gone from disk, not just skipped in memory
+        assert reopen(tmp_path).torn_records_truncated == 0
+
+    def test_close_flushes_pending_group(self, tmp_path):
+        wal = wal_at(tmp_path)
+        wal.append(RecordType.COMMIT, "T1", force=True)
+        wal.close()  # clean shutdown must not lose the deferred force
+        assert len(reopen(tmp_path)) == 1

@@ -166,7 +166,6 @@ class TestSharedParents:
         ["check", "--smoke"],
         ["bench", "--smoke"],
         ["trace"],
-        ["metrics"],
     ])
     def test_sim_only_verbs_reject_net_backend(self, verb, capsys):
         code = main([*verb, "--backend", "net"])
@@ -174,6 +173,15 @@ class TestSharedParents:
         err = capsys.readouterr().err
         assert "backend 'net' is not supported" in err
         assert "repro serve" in err
+
+    def test_metrics_net_backend_requires_a_cluster_file(self, capsys):
+        # metrics does support the net backend (it aggregates a live
+        # cluster's --obs streams), but only with a cluster file.
+        code = main(["metrics", "--backend", "net"])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "--cluster" in err
+        assert "serve --obs" in err
 
     def test_unknown_backend_rejected_by_parser(self):
         with pytest.raises(SystemExit):

@@ -27,19 +27,19 @@ SRC = REPO / "src"
 
 @dataclass(frozen=True)
 class Mutation:
-    """One seeded defect: edit ``path`` and expect ``expect_rule`` to fire."""
+    """One seeded defect: edit ``paths`` and expect ``expect_rule`` to fire."""
 
     name: str
-    path: str  # relative to the copied src/ tree
+    paths: tuple[str, ...]  # relative to the copied src/ tree
     replacements: tuple[tuple[str, str], ...]  # (old, new); "" new = delete
-    append: str  # text appended to the file (for injections)
+    append: str  # text appended to each file (for injections)
     expect_rule: str
 
 
 MUTATIONS = [
     Mutation(
         name="delete-deposit-inverse",
-        path="repro/compensation/actions.py",
+        paths=("repro/compensation/actions.py",),
         replacements=(
             (
                 'inverse=lambda params, before: '
@@ -55,14 +55,21 @@ MUTATIONS = [
     ),
     Mutation(
         name="inject-wall-clock",
-        path="repro/commit/base.py",
+        paths=("repro/commit/base.py",),
         replacements=(),
         append="\nimport time\n_LINT_CANARY = time.time()\n",
         expect_rule="determinism/wall-clock",
     ),
     Mutation(
         name="drop-decision-handler",
-        path="repro/commit/participant.py",
+        # the receivable set is the UNION of every participant-side
+        # engine's _HANDLERS, so the decision handler must vanish from
+        # all of them before MsgType.DECISION becomes unreceivable
+        paths=(
+            "repro/commit/participant.py",
+            "repro/protocols/paxos.py",
+            "repro/protocols/short.py",
+        ),
         replacements=((
             'MsgType.DECISION: "_handle_decision",\n', "",
         ),),
@@ -86,16 +93,18 @@ def run_lint(src_dir: Path) -> tuple[int, dict]:
 
 
 def mutate(src_dir: Path, mutation: Mutation) -> None:
-    target = src_dir / mutation.path
-    text = target.read_text()
-    for old, new in mutation.replacements:
-        if old not in text:
-            raise SystemExit(
-                f"{mutation.name}: pattern not found in {mutation.path!r}: "
-                f"{old!r} — the mutation no longer applies, update this script"
-            )
-        text = text.replace(old, new)
-    target.write_text(text + mutation.append)
+    for path in mutation.paths:
+        target = src_dir / path
+        text = target.read_text()
+        for old, new in mutation.replacements:
+            if old not in text:
+                raise SystemExit(
+                    f"{mutation.name}: pattern not found in {path!r}: "
+                    f"{old!r} — the mutation no longer applies, update "
+                    f"this script"
+                )
+            text = text.replace(old, new)
+        target.write_text(text + mutation.append)
 
 
 def main() -> int:

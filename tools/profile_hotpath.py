@@ -16,7 +16,7 @@ where the time and allocations go.
 
 Usage::
 
-    PYTHONPATH=src python tools/profile_hotpath.py [--scale]
+    PYTHONPATH=src python tools/profile_hotpath.py [--scale | --net]
         [--transactions N] [--memory] [--top N] [--out FILE]
 """
 
@@ -30,9 +30,17 @@ import sys
 
 
 def _run_workload(args: argparse.Namespace) -> None:
-    from repro.harness.bench import bench_scale, bench_throughput
+    from repro.harness.bench import bench_net, bench_scale, bench_throughput
 
-    if args.scale:
+    if args.net:
+        # The daemons are separate processes; the profile covers the
+        # client side — pump wakeups, transport flushes, frame codec —
+        # which is exactly the pipelined hot loop.
+        bench_net(
+            serial_transactions=10,
+            pipelined_transactions=args.transactions,
+        )
+    elif args.scale:
         bench_scale(
             sites=args.sites, transactions=args.transactions, repeats=1,
         )
@@ -40,16 +48,19 @@ def _run_workload(args: argparse.Namespace) -> None:
         bench_throughput(transactions=args.transactions, repeats=1)
 
 
-def _warmup() -> None:
+def _warmup(args: argparse.Namespace) -> None:
     """Import and touch everything once so the profile shows the hot
     path, not module import and dataclass machinery."""
-    from repro.harness.bench import bench_throughput
+    from repro.harness.bench import bench_net, bench_throughput
 
-    bench_throughput(transactions=2, repeats=1)
+    if args.net:
+        bench_net(serial_transactions=2, pipelined_transactions=4)
+    else:
+        bench_throughput(transactions=2, repeats=1)
 
 
 def profile_time(args: argparse.Namespace) -> str:
-    _warmup()
+    _warmup(args)
     profiler = cProfile.Profile()
     profiler.enable()
     _run_workload(args)
@@ -83,6 +94,10 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--scale", action="store_true",
                         help="profile bench_scale instead of "
                              "bench_throughput")
+    parser.add_argument("--net", action="store_true",
+                        help="profile the networked bench's client loop "
+                             "(daemons run unprofiled in their own "
+                             "processes)")
     parser.add_argument("--sites", type=int, default=64,
                         help="sites for --scale (default 64)")
     parser.add_argument("--transactions", type=int, default=100,
