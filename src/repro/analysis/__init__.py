@@ -15,11 +15,21 @@ runs, and this package checks them without executing anything:
   iteration in protocol code, protecting checker replay and parallel
   report byte-identity;
 * **dispatch exhaustiveness** (:mod:`repro.analysis.dispatch`) — every
-  :class:`~repro.net.message.MsgType` has a receiving side.
+  :class:`~repro.net.message.MsgType` has a receiving side;
+* **protocol flow** (:mod:`repro.analysis.flow`) — every outcome-revealing
+  send is dominated by its covering WAL force point (force-before-send),
+  the networked runtime's frames route through the group-commit durability
+  gate, the declared force points match the method bodies, and each
+  scheme's role→MsgType→role flow graph is closed (no orphan sends, no
+  dead handlers, every edge routable over TCP);
+* **event-loop blocking** (:mod:`repro.analysis.blocking`) — no sync
+  fsync/file-IO/sleep/subprocess/busy loop reachable from the runtime's
+  coroutines.
 
 See ``docs/ANALYSIS.md`` for each rule with its paper anchor.
 """
 
+from repro.analysis.blocking import analyze_rt_blocking
 from repro.analysis.commute import (
     analyze_matrix,
     analyze_workload_commutativity,
@@ -32,6 +42,12 @@ from repro.analysis.dispatch import (
     analyze_runtime_dispatch,
 )
 from repro.analysis.findings import Finding, Severity, sort_findings
+from repro.analysis.flow import (
+    analyze_flow,
+    analyze_message_flow,
+    build_flow_graphs,
+    render_flow_dot,
+)
 from repro.analysis.repertoire import analyze_registry, analyze_workloads
 from repro.analysis.runner import (
     LintReport,
@@ -47,14 +63,19 @@ __all__ = [
     "Severity",
     "analyze_dispatch",
     "analyze_file",
+    "analyze_flow",
     "analyze_matrix",
+    "analyze_message_flow",
     "analyze_registry",
+    "analyze_rt_blocking",
     "analyze_runtime_dispatch",
     "analyze_tree",
     "analyze_workload_commutativity",
     "analyze_workloads",
+    "build_flow_graphs",
     "build_matrix",
     "default_root",
+    "render_flow_dot",
     "ops_commute",
     "render_json",
     "render_text",

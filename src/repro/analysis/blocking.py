@@ -1,0 +1,322 @@
+"""Family 6: blocking calls reachable from the event loop (``repro.rt``).
+
+The networked runtime is a single asyncio loop per process.  One
+synchronous ``fsync`` (or ``time.sleep``, or a file rename) on that loop
+stalls *every* connection the daemon serves — and silently defeats the
+group-commit design, whose whole point is that force points queue behind
+one shared barrier instead of blocking their callers.  Nothing catches
+this dynamically: the call succeeds, the daemon just gets slow in a way
+that only shows under concurrent load.
+
+This is an AST pass over ``src/repro/rt/``.  Seeds are every coroutine
+(``async def``) and every generator function (the sim-engine handlers the
+pump thread drives share the process); from the seeds it traverses
+same-class method calls (``self.helper()``) and same-module function
+calls, so a sync helper extracted from a coroutine stays covered.  Calls
+into other packages are not traversed — instead the known blocking
+surfaces of the storage layer (the WAL chain) are matched directly at the
+call site.
+
+Rules (all errors):
+
+``blocking/sync-sleep``
+    ``time.sleep`` on the loop.  Use ``asyncio.sleep``.
+
+``blocking/sync-fsync``
+    ``os.fsync``, or a WAL-chain durability call — ``*.wal.sync()``,
+    ``*.wal.close()``, ``*.checkpoint()`` — each of which fsyncs.  The
+    group-commit flusher's ``barrier`` is the one designated site (it
+    coalesces everyone else's force points); it carries the pragma.
+
+``blocking/sync-file-io``
+    Builtin ``open()`` or a synchronous ``os`` filesystem call
+    (``replace``/``rename``/``remove``/``unlink``/``makedirs``/``rmdir``).
+
+``blocking/subprocess``
+    ``subprocess.*`` or ``os.system`` — process spawns block and belong
+    in the harness (``rt/system.py``), never on the loop.
+
+``blocking/busy-loop``
+    ``while True:`` with no ``await``/``yield`` in its body: the loop
+    never yields control back, starving every other task.
+
+A line ending in ``# lint: allow-blocking`` suppresses its findings; the
+surrounding comment must say why the block is safe there (boot/shutdown
+paths before/after serving, or the designated group-commit fsync).
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.analysis.findings import Finding, Severity
+from repro.analysis.source import (
+    import_table,
+    iter_py_files,
+    parse_module,
+    resolve_name,
+)
+
+_ANCHOR = "event-loop liveness (docs/RUNTIME.md: one loop per daemon)"
+
+PRAGMA = "lint: allow-blocking"
+
+#: resolved dotted name → rule
+_FORBIDDEN: dict[str, str] = {
+    "time.sleep": "blocking/sync-sleep",
+    "os.fsync": "blocking/sync-fsync",
+    "os.fdatasync": "blocking/sync-fsync",
+    "os.system": "blocking/subprocess",
+    "os.replace": "blocking/sync-file-io",
+    "os.rename": "blocking/sync-file-io",
+    "os.remove": "blocking/sync-file-io",
+    "os.unlink": "blocking/sync-file-io",
+    "os.makedirs": "blocking/sync-file-io",
+    "os.rmdir": "blocking/sync-file-io",
+}
+
+_SUBPROCESS_PREFIX = "subprocess."
+
+#: attribute-call suffixes on the WAL chain that hit the disk.  Matched
+#: only when the receiver chain names the WAL (``self.wal.sync``,
+#: ``self.site.wal.close``) so an asyncio ``writer.close()`` stays clean;
+#: ``*.checkpoint()`` always fsyncs (it appends a forced CHECKPOINT).
+_WAL_SUFFIXES = (".sync", ".close")
+
+
+def _dotted(node: ast.expr) -> str | None:
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+FnDef = ast.FunctionDef | ast.AsyncFunctionDef
+
+
+@dataclass
+class _Fn:
+    """One function in the rt tree, with its traversal edges."""
+
+    rel: str
+    qualname: str
+    node: FnDef
+    class_name: str | None
+    is_seed: bool
+    #: names callable from this body: same-class methods + module funcs
+    calls: list[str] = field(default_factory=list)
+
+
+def _own_nodes(fn: FnDef) -> list[ast.AST]:
+    """Every AST node of ``fn``'s body, excluding nested function/class
+    definitions (a nested ``def`` runs only when called — it is its own
+    unit, seeded separately if async/generator)."""
+    nodes: list[ast.AST] = []
+    stack: list[ast.AST] = list(fn.body)
+    while stack:
+        node = stack.pop()
+        nodes.append(node)
+        for child in ast.iter_child_nodes(node):
+            if isinstance(
+                child,
+                (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef,
+                 ast.Lambda),
+            ):
+                continue
+            stack.append(child)
+    return nodes
+
+
+def _is_generator(fn: FnDef) -> bool:
+    return any(
+        isinstance(node, (ast.Yield, ast.YieldFrom))
+        for node in _own_nodes(fn)
+    )
+
+
+def _yields_control(stmts: list[ast.stmt]) -> bool:
+    """True when the block awaits or yields (excluding nested defs)."""
+    stack: list[ast.AST] = list(stmts)
+    while stack:
+        node = stack.pop()
+        if isinstance(node, (ast.Await, ast.Yield, ast.YieldFrom)):
+            return True
+        for child in ast.iter_child_nodes(node):
+            if isinstance(
+                child,
+                (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef,
+                 ast.Lambda),
+            ):
+                continue
+            stack.append(child)
+    return False
+
+
+def _index_module(path: Path, rel: str) -> tuple[
+    list[_Fn], dict[str, dict[str, _Fn]], dict[str, _Fn], ast.Module
+]:
+    """All functions of one module, keyed for traversal."""
+    tree = parse_module(path)
+    fns: list[_Fn] = []
+    by_class: dict[str, dict[str, _Fn]] = {}
+    module_fns: dict[str, _Fn] = {}
+
+    def make(node: FnDef, class_name: str | None) -> _Fn:
+        qual = (
+            f"{class_name}.{node.name}" if class_name else node.name
+        )
+        is_seed = isinstance(node, ast.AsyncFunctionDef) or _is_generator(
+            node
+        )
+        fn = _Fn(
+            rel=rel, qualname=qual, node=node,
+            class_name=class_name, is_seed=is_seed,
+        )
+        for sub in _own_nodes(node):
+            if isinstance(sub, ast.Call):
+                name = _dotted(sub.func)
+                if name is None:
+                    continue
+                if name.startswith("self.") and name.count(".") == 1:
+                    fn.calls.append(name[5:])
+                elif "." not in name:
+                    fn.calls.append(name)
+        return fn
+
+    for stmt in tree.body:
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            fn = make(stmt, None)
+            fns.append(fn)
+            module_fns[stmt.name] = fn
+        elif isinstance(stmt, ast.ClassDef):
+            methods: dict[str, _Fn] = {}
+            for member in stmt.body:
+                if isinstance(
+                    member, (ast.FunctionDef, ast.AsyncFunctionDef)
+                ):
+                    fn = make(member, stmt.name)
+                    fns.append(fn)
+                    methods[member.name] = fn
+            by_class[stmt.name] = methods
+    return fns, by_class, module_fns, tree
+
+
+def analyze_rt_blocking(root: Path) -> list[Finding]:
+    """Run the blocking-call rules over every module under ``rt/``."""
+    rt_root = root / "rt"
+    findings: list[Finding] = []
+    for path in iter_py_files(rt_root):
+        rel = f"rt/{path.relative_to(rt_root).as_posix()}"
+        findings.extend(_analyze_module(path, rel))
+    return findings
+
+
+def _analyze_module(path: Path, rel: str) -> list[Finding]:
+    fns, by_class, module_fns, tree = _index_module(path, rel)
+    table = import_table(tree)
+    lines = path.read_text(encoding="utf-8").splitlines()
+
+    # reachability: seeds, then same-class / same-module sync callees
+    reachable: dict[int, tuple[_Fn, str]] = {}
+    queue: list[tuple[_Fn, str]] = [
+        (fn, fn.qualname) for fn in fns if fn.is_seed
+    ]
+    while queue:
+        fn, via = queue.pop(0)
+        if id(fn.node) in reachable:
+            continue
+        reachable[id(fn.node)] = (fn, via)
+        for callee in fn.calls:
+            target: _Fn | None = None
+            if fn.class_name is not None:
+                target = by_class.get(fn.class_name, {}).get(callee)
+            if target is None:
+                target = module_fns.get(callee)
+            if target is not None and id(target.node) not in reachable:
+                queue.append((target, via))
+
+    def suppressed(lineno: int) -> bool:
+        return 0 < lineno <= len(lines) and PRAGMA in lines[lineno - 1]
+
+    findings: list[Finding] = []
+
+    def add(rule: str, lineno: int, message: str) -> None:
+        if suppressed(lineno):
+            return
+        findings.append(Finding(
+            rule=rule,
+            severity=Severity.ERROR,
+            location=f"{rel}:{lineno}",
+            message=message,
+            anchor=_ANCHOR,
+        ))
+
+    for fn, via in reachable.values():
+        origin = (
+            f"{fn.qualname} (runs on the event loop)"
+            if fn.is_seed
+            else f"{fn.qualname} (reachable from {via})"
+        )
+        for node in _own_nodes(fn.node):
+            if isinstance(node, ast.Call):
+                name = _dotted(node.func)
+                resolved = (
+                    resolve_name(node.func, table)
+                    if isinstance(node.func, (ast.Attribute, ast.Name))
+                    else None
+                )
+                if resolved is not None:
+                    rule = _FORBIDDEN.get(resolved)
+                    if rule is None and resolved.startswith(
+                        _SUBPROCESS_PREFIX
+                    ):
+                        rule = "blocking/subprocess"
+                    if rule is not None:
+                        add(
+                            rule, node.lineno,
+                            f"{origin} calls {resolved}() — blocks the "
+                            f"loop; move it off-thread or behind the "
+                            f"group-commit barrier",
+                        )
+                        continue
+                if (
+                    isinstance(node.func, ast.Name)
+                    and node.func.id == "open"
+                ):
+                    add(
+                        "blocking/sync-file-io", node.lineno,
+                        f"{origin} calls builtin open() — synchronous "
+                        f"file IO on the loop",
+                    )
+                    continue
+                if name is not None:
+                    on_wal = name.startswith("wal.") or ".wal." in name
+                    if (
+                        on_wal and name.endswith(_WAL_SUFFIXES)
+                    ) or name.endswith(".checkpoint"):
+                        add(
+                            "blocking/sync-fsync", node.lineno,
+                            f"{origin} calls {name}() — a WAL-chain "
+                            f"durability call that fsyncs on the loop; "
+                            f"route force points through the "
+                            f"group-commit barrier",
+                        )
+            elif isinstance(node, ast.While):
+                test = node.test
+                is_true = isinstance(test, ast.Constant) and bool(
+                    test.value
+                ) and test.value in (True, 1)
+                if is_true and not _yields_control(node.body):
+                    add(
+                        "blocking/busy-loop", node.lineno,
+                        f"{origin} contains `while True:` with no "
+                        f"await/yield in the body — starves every other "
+                        f"task on the loop",
+                    )
+    return findings

@@ -15,9 +15,11 @@ allowlisted as the one place the stdlib ``random`` module may appear.
 Rules:
 
 ``determinism/wall-clock``
-    ``time.time``/``time.time_ns``/``datetime.now``-family calls.  The only
-    clock protocol code may read is ``Environment.now``.  (``time.perf_counter``
-    is tolerated: it feeds wall-budget *accounting*, never a schedule.)
+    ``time.time``/``time.time_ns``/``time.monotonic``/``datetime.now``-family
+    calls.  The only clock protocol code may read is ``Environment.now``.
+    (``time.perf_counter`` is tolerated: it feeds wall-budget *accounting*,
+    never a schedule.)  The realtime harness's legitimate deadline polling
+    carries per-line pragmas.
 
 ``determinism/unseeded-random``
     Any use of the stdlib ``random`` module: module-level functions draw
@@ -65,6 +67,8 @@ _FORBIDDEN_EXACT: dict[str, str] = {
     "time.localtime": "determinism/wall-clock",
     "time.gmtime": "determinism/wall-clock",
     "time.ctime": "determinism/wall-clock",
+    "time.monotonic": "determinism/wall-clock",
+    "time.monotonic_ns": "determinism/wall-clock",
     "datetime.now": "determinism/wall-clock",
     "datetime.utcnow": "determinism/wall-clock",
     "datetime.today": "determinism/wall-clock",

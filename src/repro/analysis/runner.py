@@ -17,11 +17,13 @@ import json
 from dataclasses import dataclass, field
 from pathlib import Path
 
+from repro.analysis.blocking import analyze_rt_blocking
 from repro.analysis.commute import (
     analyze_matrix,
     analyze_workload_commutativity,
 )
 from repro.analysis.determinism import analyze_tree
+from repro.analysis.flow import analyze_flow, analyze_message_flow
 from repro.analysis.dispatch import (
     analyze_dispatch,
     analyze_engines,
@@ -92,6 +94,9 @@ def run_all(root: Path | None = None) -> LintReport:
         extra_coordinator_surfaces=coordinator_surfaces,
     ))
     findings.extend(analyze_engines())
+    findings.extend(analyze_flow(scan_root))
+    findings.extend(analyze_message_flow(scan_root))
+    findings.extend(analyze_rt_blocking(scan_root))
 
     stats = {
         "actions": len(registry.names()),

@@ -642,12 +642,14 @@ def cmd_compare(args: argparse.Namespace) -> int:
 def cmd_lint(args: argparse.Namespace) -> int:
     """Run the static analyzers; exit 1 when any rule fires.
 
-    Four families (see ``docs/ANALYSIS.md``): repertoire/compensation
+    Six families (see ``docs/ANALYSIS.md``): repertoire/compensation
     soundness (inverse closure, Theorem 2 write coverage, Section 2 real
     actions), the commutativity matrix against the A1–A4 stratification
-    preconditions, the determinism lint over ``src/repro``, and
-    coordinator/participant dispatch exhaustiveness.  Nothing is executed:
-    no schedules, no simulation, no state.
+    preconditions, the determinism lint over ``src/repro``,
+    coordinator/participant dispatch exhaustiveness, protocol-flow
+    verification (force-before-send plus per-scheme message-flow graphs),
+    and the event-loop blocking-call analyzer over ``repro.rt``.  Nothing
+    is executed: no schedules, no simulation, no state.
     """
     from pathlib import Path
 
@@ -655,6 +657,16 @@ def cmd_lint(args: argparse.Namespace) -> int:
 
     root = Path(args.root) if args.root else None
     report = run_all(root)
+    if args.flow_dot:
+        from repro.analysis import default_root, render_flow_dot
+
+        out_dir = Path(args.flow_dot)
+        out_dir.mkdir(parents=True, exist_ok=True)
+        graphs = render_flow_dot(root if root is not None else default_root())
+        for scheme, dot in sorted(graphs.items()):
+            (out_dir / f"flow_{scheme}.dot").write_text(
+                dot, encoding="utf-8"
+            )
     if args.json:
         sys.stdout.write(render_json(report))
     else:
@@ -957,6 +969,9 @@ def build_parser() -> argparse.ArgumentParser:
     lint.add_argument("--root", default=None,
                       help="source tree to scan instead of the installed "
                            "package (AST families only)")
+    lint.add_argument("--flow-dot", default=None, metavar="DIR",
+                      help="also write one Graphviz flow_<SCHEME>.dot "
+                           "message-flow graph per commit scheme to DIR")
     lint.set_defaults(fn=cmd_lint)
 
     serve = sub.add_parser(

@@ -83,7 +83,7 @@ class Acceptor:
 
     # -- dispatch -----------------------------------------------------------------
 
-    def _dispatch(self):
+    def _dispatch(self) -> Any:
         handlers = {
             msg_type: getattr(self, method)
             for msg_type, method in self._HANDLERS.items()

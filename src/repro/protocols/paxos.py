@@ -63,7 +63,7 @@ def run_termination(
     collect: Any,
     known_sites: Any,
     phase_timeout: float,
-):
+) -> Any:
     """One ballot of the Paxos Commit termination protocol (generator).
 
     Phase 1a/1b: prepare at ``ballot``, gather F+1 matching promises.
@@ -169,7 +169,7 @@ class _TermMailbox:
     def push(self, msg: Message) -> None:
         self.queue.append(msg)
 
-    def collect(self, msg_type: MsgType, timeout: float):
+    def collect(self, msg_type: MsgType, timeout: float) -> Any:
         deadline = self.env.now + timeout
         while True:
             for i, queued in enumerate(self.queue):
@@ -223,7 +223,7 @@ class PaxosCommitCoordinator(Coordinator):
             tuple(acceptors) or acceptor_ids(self.config.paxos_acceptors)
         )
 
-    def _vote_phase(self):
+    def _vote_phase(self) -> Any:
         """Returns ``{site: "YES"|"NO"}`` learned through the acceptors."""
         yield from self._await_alive()
         transmarks = sorted(self._final_transmarks())
@@ -265,7 +265,7 @@ class PaxosCommitCoordinator(Coordinator):
             decided = yield from self._terminate(sites, decided)
         return decided
 
-    def _terminate(self, sites: list[str], decided: dict[str, str]):
+    def _terminate(self, sites: list[str], decided: dict[str, str]) -> Any:
         """Leader-side termination: retry at rising ballots until every
         instance has an accept quorum.
 
@@ -349,7 +349,7 @@ class PaxosParticipant(Participant):
 
     # -- VOTE_REQ -----------------------------------------------------------------
 
-    def _handle_vote_req(self, msg: Message):
+    def _handle_vote_req(self, msg: Message) -> Any:
         txn_id = msg.txn_id
         state = self.subtxns.get(txn_id)
         transmarks: set[str] = set(msg.payload.get("transmarks", ()))
@@ -438,7 +438,9 @@ class PaxosParticipant(Participant):
                 lambda _evt, p=proc: self._handlers.discard(p)
             )
 
-    def _watchdog(self, txn_id: str, acceptors: tuple[str, ...], delay: float):
+    def _watchdog(
+        self, txn_id: str, acceptors: tuple[str, ...], delay: float,
+    ) -> Any:
         sites = self._txn_sites.get(txn_id) or [self.site.site_id]
         # Stagger leaders by rank so concurrent recovery attempts (dueling
         # ballots) stay rare; any interleaving is still safe.
@@ -492,14 +494,14 @@ class PaxosParticipant(Participant):
 
     # -- termination replies (fed to the mailbox) ---------------------------------
 
-    def _handle_promise(self, msg: Message):
+    def _handle_promise(self, msg: Message) -> Any:
         self._mailboxes.setdefault(msg.txn_id, _TermMailbox(self.env)).push(
             msg
         )
         return
         yield  # pragma: no cover - make this handler a generator
 
-    def _handle_accepted(self, msg: Message):
+    def _handle_accepted(self, msg: Message) -> Any:
         self._mailboxes.setdefault(msg.txn_id, _TermMailbox(self.env)).push(
             msg
         )
@@ -513,7 +515,7 @@ class PaxosParticipant(Participant):
         self._mailboxes.clear()
         self._txn_sites.clear()
 
-    def recover(self):
+    def recover(self) -> Any:
         report = yield from super().recover()
         for txn_id in sorted(report.in_doubt):
             # A recovered prepared participant is exactly the blocked-2PC

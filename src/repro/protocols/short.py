@@ -85,7 +85,7 @@ class ShortParticipant(Participant):
 
     # -- SUBTXN_REQ ---------------------------------------------------------------
 
-    def _handle_subtxn(self, msg: Message):
+    def _handle_subtxn(self, msg: Message) -> Any:
         yield from super()._handle_subtxn(msg)
         state = self.subtxns.get(msg.txn_id)
         if state is None or not state.executed:
@@ -116,7 +116,7 @@ class ShortParticipant(Participant):
 
     # -- VOTE_REQ -----------------------------------------------------------------
 
-    def _handle_vote_req(self, msg: Message):
+    def _handle_vote_req(self, msg: Message) -> Any:
         txn_id = msg.txn_id
         state = self.subtxns.get(txn_id)
         transmarks: set[str] = set(msg.payload.get("transmarks", ()))
@@ -183,7 +183,7 @@ class ShortParticipant(Participant):
 
     # -- DECISION -----------------------------------------------------------------
 
-    def _handle_decision(self, msg: Message):
+    def _handle_decision(self, msg: Message) -> Any:
         txn_id = msg.txn_id
         state = self.subtxns.get(txn_id)
         if state is not None and state.decided is None:

@@ -190,7 +190,9 @@ class NetClient:
 
     # -- decision retransmission ---------------------------------------------
 
-    def _resend_one(self, txn_id: str, decision: str, pending: list[str]):
+    def _resend_one(
+        self, txn_id: str, decision: str, pending: list[str],
+    ) -> Any:
         """Re-send one logged decision; returns the still-unacked sites."""
         endpoint = f"coord.{txn_id}"
         inbox = self.transport.register(endpoint)

@@ -158,8 +158,9 @@ class SiteDaemon:
                 for i in range(self.keys_per_site)
             })
             # load() is unlogged; the quiescent checkpoint makes the
-            # initial contents durable so a restart restores them.
-            self.site.checkpoint()
+            # initial contents durable so a restart restores them.  Boot
+            # path: nothing is being served yet, blocking is harmless.
+            self.site.checkpoint()  # lint: allow-blocking
         else:
             proc = self.env.process(
                 self.participant.recover(),
@@ -192,7 +193,8 @@ class SiteDaemon:
                 pass
             self._pump_task = None
         await self.transport.close()
-        self.site.wal.close()
+        # Shutdown path: the transport is closed, nothing left to starve.
+        self.site.wal.close()  # lint: allow-blocking
         if self.obs_sink is not None:
             self.obs_sink.close()
 

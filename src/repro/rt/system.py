@@ -42,13 +42,15 @@ def wait_for_port(
     host: str, port: int, deadline: float = 10.0,
 ) -> None:
     """Poll until something accepts on (host, port); raises on timeout."""
-    end = time.monotonic() + deadline
+    # Real-wall deadline: this polls actual OS listeners, not the sim
+    # clock, so the monotonic clock is the correct one here.
+    end = time.monotonic() + deadline  # lint: allow-nondeterminism
     while True:
         try:
             with socket.create_connection((host, port), timeout=0.5):
                 return
         except OSError:
-            if time.monotonic() >= end:
+            if time.monotonic() >= end:  # lint: allow-nondeterminism
                 raise TimeoutError(
                     f"no listener on {host}:{port} after {deadline:.0f}s"
                 ) from None
@@ -165,9 +167,12 @@ class NetSystem:
                 site_shutdown(self.cluster, site_id)
             except OSError:
                 pass
-        deadline = time.monotonic() + 5.0
+        # Shutdown grace period for real subprocesses — wall time by design.
+        deadline = time.monotonic() + 5.0  # lint: allow-nondeterminism
         for proc in self.procs.values():
-            remaining = max(0.1, deadline - time.monotonic())
+            remaining = max(
+                0.1, deadline - time.monotonic()  # lint: allow-nondeterminism
+            )
             try:
                 proc.wait(timeout=remaining)
             except subprocess.TimeoutExpired:

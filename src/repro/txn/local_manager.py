@@ -44,6 +44,23 @@ _MISSING = object()
 class LocalTransactionManager:
     """Executes transactions against one site under strict 2PL."""
 
+    #: methods whose WAL append is a *force point* (``force=True``): the
+    #: record must be durable before any message revealing its outcome is
+    #: sent.  ``repro lint``'s ``flow/force-point-drift`` rule verifies this
+    #: list against the method bodies in both directions, so a refactor
+    #: that drops (or adds) a forced append shows up at lint time.
+    _FORCE_POINTS = (
+        "commit",
+        "abort_local",
+        "prepare",
+        "local_commit",
+        "complete_commit",
+        "rollback_subtxn",
+        "commit_recovered",
+        "abort_recovered",
+        "mark_compensated",
+    )
+
     def __init__(self, site: "Site") -> None:
         self.site = site
         #: current status of every transaction seen at this site

@@ -1,0 +1,164 @@
+"""Family 5: force-before-send, the runtime durability gate, and
+force-point drift (``repro.analysis.flow``, part 1).
+
+Every mutation test copies the installed package tree, breaks ONE force
+discipline, and asserts the exact rule fires — parameterized across all
+four commit-scheme engines plus the Paxos acceptor, since each engine
+has its own force point and its own outcome-revealing send.
+"""
+
+import shutil
+
+import pytest
+
+from repro.analysis import default_root
+from repro.analysis.flow import (
+    OBLIGATIONS,
+    PRAGMA,
+    analyze_flow,
+    analyze_force_before_send,
+    analyze_force_points,
+    analyze_rt_gate,
+)
+
+
+@pytest.fixture()
+def tree(tmp_path):
+    """A scratch copy of the real package tree, safe to mutate."""
+    root = tmp_path / "repro"
+    shutil.copytree(default_root(), root)
+    return root
+
+
+def edit(root, rel, old, new):
+    path = root / rel
+    text = path.read_text()
+    assert old in text, f"mutation pattern drifted out of {rel}: {old!r}"
+    path.write_text(text.replace(old, new))
+
+
+def rules(findings):
+    return [f.rule for f in findings]
+
+
+class TestShippedTreeIsClean:
+    def test_no_findings(self):
+        assert analyze_flow(default_root()) == []
+
+    def test_obligations_cover_every_engine(self):
+        classes = {ob.class_name for ob in OBLIGATIONS}
+        # base 2PC/O2PC participant + coordinator, Short-Commit, Paxos
+        # Commit participant, and the acceptor ensemble
+        assert classes == {
+            "Participant", "Coordinator", "ShortParticipant",
+            "PaxosParticipant", "Acceptor",
+        }
+
+
+#: engine → (file, force statement whose deletion uncovers the send)
+_FORCE_MUTATIONS = {
+    "TWO_PL": (
+        "commit/participant.py",
+        "            self.site.ltm.prepare(txn_id)\n",
+    ),
+    "O2PC": (
+        "commit/participant.py",
+        "            self.site.ltm.local_commit(txn_id)\n",
+    ),
+    "SHORT": (
+        "protocols/short.py",
+        "        self.site.ltm.prepare(txn_id)\n",
+    ),
+    "PAXOS": (
+        "protocols/paxos.py",
+        "        self.site.ltm.prepare(txn_id)\n",
+    ),
+    "ACCEPTOR": (
+        "protocols/acceptor.py",
+        "        self._persist()\n        self.network.send(Message(\n",
+    ),
+}
+
+
+class TestUnforcedSend:
+    @pytest.mark.parametrize("engine", sorted(_FORCE_MUTATIONS))
+    def test_deleting_the_force_point_fires(self, tree, engine):
+        rel, stmt = _FORCE_MUTATIONS[engine]
+        if engine == "ACCEPTOR":
+            edit(tree, rel, stmt, "        self.network.send(Message(\n")
+        else:
+            edit(tree, rel, stmt, "")
+        found = analyze_force_before_send(tree)
+        assert "flow/unforced-send" in rules(found)
+        assert all(rel in f.location for f in found)
+
+    def test_both_vote_branches_must_force(self, tree):
+        # Deleting only the 2PL-branch prepare leaves the O2PC branch
+        # covered — the if-merge is an AND, so the YES send is still
+        # reported as reachable without a force.
+        edit(
+            tree, "commit/participant.py",
+            "            self.site.ltm.prepare(txn_id)\n", "",
+        )
+        found = analyze_force_before_send(tree)
+        assert rules(found) == ["flow/unforced-send"]
+
+    def test_pragma_suppresses(self, tree):
+        edit(
+            tree, "protocols/short.py",
+            "        self.site.ltm.prepare(txn_id)\n", "",
+        )
+        edit(
+            tree, "protocols/short.py",
+            '        self._reply(msg, MsgType.VOTE, {"vote": "YES"})',
+            '        self._reply(msg, MsgType.VOTE, {"vote": "YES"})'
+            f"  # {PRAGMA}",
+        )
+        assert analyze_force_before_send(tree) == []
+
+    def test_no_votes_stay_exempt(self):
+        # The shipped tree's NO replies are presumed-abort: uncovered by
+        # design, and not findings.
+        assert analyze_force_before_send(default_root()) == []
+
+
+class TestRtGate:
+    def test_removing_the_gate_await_fires(self, tree):
+        edit(
+            tree, "rt/transport.py",
+            "                if self.durability_gate is not None:\n"
+            "                    await self.durability_gate()\n",
+            "",
+        )
+        found = analyze_rt_gate(tree)
+        assert "flow/rt-durability-gate" in rules(found)
+        assert any("never awaits" in f.message for f in found)
+
+    def test_removing_the_daemon_install_fires(self, tree):
+        edit(
+            tree, "rt/daemon.py",
+            "            self.transport.durability_gate = "
+            "self.flusher.barrier\n",
+            "",
+        )
+        found = analyze_rt_gate(tree)
+        assert "flow/rt-durability-gate" in rules(found)
+        assert any("never installs" in f.message for f in found)
+
+
+class TestForcePointDrift:
+    def test_undeclared_force_point_fires(self, tree):
+        edit(tree, "txn/local_manager.py", '"prepare",', "")
+        found = analyze_force_points(tree)
+        assert rules(found) == ["flow/force-point-drift"]
+        assert "not declared" in found[0].message
+
+    def test_declared_but_unforced_fires(self, tree):
+        edit(
+            tree, "txn/local_manager.py",
+            '"commit",', '"commit", "made_up",',
+        )
+        found = analyze_force_points(tree)
+        assert rules(found) == ["flow/force-point-drift"]
+        assert "'made_up'" in found[0].message
+        assert "no longer met" in found[0].message

@@ -1,0 +1,156 @@
+"""Family 5, part 2: the per-scheme message-flow graph
+(``repro.analysis.flow``: ``build_flow_graphs`` and the msgflow rules).
+"""
+
+import shutil
+
+import pytest
+
+from repro.analysis import default_root
+from repro.analysis.flow import (
+    SCHEME_ROLES,
+    analyze_message_flow,
+    build_flow_graphs,
+    flow_edges,
+    render_flow_dot,
+)
+from repro.commit.base import CommitScheme
+
+
+@pytest.fixture()
+def tree(tmp_path):
+    root = tmp_path / "repro"
+    shutil.copytree(default_root(), root)
+    return root
+
+
+def edit(root, rel, old, new):
+    path = root / rel
+    text = path.read_text()
+    assert old in text, f"mutation pattern drifted out of {rel}: {old!r}"
+    path.write_text(text.replace(old, new))
+
+
+def rules(findings):
+    return [f.rule for f in findings]
+
+
+class TestGraphs:
+    def test_every_scheme_is_mapped(self):
+        assert set(SCHEME_ROLES) == {m.name for m in CommitScheme}
+
+    @pytest.mark.parametrize("scheme", sorted(SCHEME_ROLES))
+    def test_voting_round_trip_present(self, scheme):
+        # Every engine shares the 2PC skeleton: the coordinator asks for
+        # votes, the participant answers, a decision goes back out.
+        edges = set(flow_edges(build_flow_graphs(default_root())[scheme]))
+        assert ("coordinator", "SUBTXN_REQ", "participant") in edges
+        assert ("participant", "SUBTXN_ACK", "coordinator") in edges
+        assert ("coordinator", "VOTE_REQ", "participant") in edges
+
+    def test_o2pc_graph_is_exactly_the_2pc_skeleton(self):
+        edges = flow_edges(build_flow_graphs(default_root())["O2PC"])
+        assert edges == [
+            ("coordinator", "DECISION", "participant"),
+            ("coordinator", "SUBTXN_REQ", "participant"),
+            ("coordinator", "VOTE_REQ", "participant"),
+            ("participant", "ACK", "coordinator"),
+            ("participant", "SUBTXN_ACK", "coordinator"),
+            ("participant", "VOTE", "coordinator"),
+        ]
+
+    def test_paxos_graph_includes_the_acceptor_rounds(self):
+        edges = set(flow_edges(build_flow_graphs(default_root())["PAXOS"]))
+        # 2a from both the leader and the participants' ballot-0 votes
+        assert ("participant", "PAXOS_ACCEPT", "acceptor") in edges
+        assert ("coordinator", "PAXOS_ACCEPT", "acceptor") in edges
+        assert ("acceptor", "PAXOS_ACCEPTED", "coordinator") in edges
+        # the termination watchdog relays DECISION peer-to-peer
+        assert ("participant", "DECISION", "participant") in edges
+
+    def test_short_graph_inherits_base_sends_via_super(self):
+        # ShortParticipant delegates SUBTXN_REQ/DECISION handling to the
+        # base class with super() — the splice keeps those sends visible.
+        edges = set(flow_edges(build_flow_graphs(default_root())["SHORT"]))
+        assert ("participant", "SUBTXN_ACK", "coordinator") in edges
+        assert ("participant", "ACK", "coordinator") in edges
+
+
+class TestRules:
+    def test_shipped_tree_is_clean(self):
+        assert analyze_message_flow(default_root()) == []
+
+    def test_orphan_send_when_one_engine_drops_its_handler(self, tree):
+        # Removing DECISION from the Paxos participant ONLY: the union
+        # dispatch family stays quiet (the base participant still has
+        # it), but the PAXOS scheme now drops its decision on the floor.
+        edit(
+            tree, "protocols/paxos.py",
+            'MsgType.DECISION: "_handle_decision",\n', "",
+        )
+        found = analyze_message_flow(tree)
+        assert "msgflow/orphan-send" in rules(found)
+        assert any("PAXOS" in f.message for f in found)
+
+    def test_dead_handler_when_nobody_sends(self, tree):
+        # An inbound type nobody emits in that scheme's graph.
+        edit(
+            tree, "commit/participant.py",
+            "        MsgType.DECISION: \"_handle_decision\",",
+            "        MsgType.DECISION: \"_handle_decision\",\n"
+            "        MsgType.PAXOS_PROMISE: \"_handle_decision\",",
+        )
+        found = analyze_message_flow(tree)
+        assert "msgflow/dead-handler" in rules(found)
+
+    def test_runtime_unroutable_when_inbound_shrinks(self, tree):
+        edit(
+            tree, "rt/daemon.py",
+            "MsgType.SUBTXN_REQ, MsgType.VOTE_REQ, MsgType.DECISION,",
+            "MsgType.SUBTXN_REQ, MsgType.DECISION,",
+        )
+        found = analyze_message_flow(tree)
+        unroutable = [
+            f for f in found if f.rule == "msgflow/runtime-unroutable"
+        ]
+        assert unroutable
+        assert all("VOTE_REQ" in f.message for f in unroutable)
+
+    def test_runtime_dead_inbound_warns(self, tree):
+        # VOTE flows to the coordinator (the client), never to a daemon.
+        edit(
+            tree, "rt/daemon.py",
+            "MsgType.SUBTXN_REQ, MsgType.VOTE_REQ, MsgType.DECISION,",
+            "MsgType.SUBTXN_REQ, MsgType.VOTE_REQ, MsgType.DECISION, "
+            "MsgType.VOTE,",
+        )
+        found = analyze_message_flow(tree)
+        assert rules(found) == ["msgflow/runtime-dead-inbound"]
+        assert found[0].severity.value == "warning"
+
+    def test_unmapped_scheme_fires(self, monkeypatch):
+        monkeypatch.delitem(SCHEME_ROLES, "SHORT")
+        found = analyze_message_flow(default_root())
+        assert rules(found) == ["msgflow/unmapped-scheme"]
+        assert "CommitScheme.SHORT" in found[0].message
+
+
+class TestDot:
+    def test_one_graph_per_scheme(self):
+        graphs = render_flow_dot(default_root())
+        assert set(graphs) == set(SCHEME_ROLES)
+
+    def test_dot_shape_and_determinism(self):
+        a = render_flow_dot(default_root())
+        b = render_flow_dot(default_root())
+        assert a == b
+        dot = a["O2PC"]
+        assert dot.startswith("digraph flow_O2PC {")
+        assert '"coordinator" -> "participant" [label="VOTE_REQ"];' in dot
+        assert dot.endswith("}\n")
+
+    def test_acceptor_appears_only_in_paxos(self):
+        graphs = render_flow_dot(default_root())
+        assert '"acceptor"' in graphs["PAXOS"]
+        for scheme in ("TWO_PL", "O2PC", "SHORT"):
+            assert "acceptor" not in graphs[scheme]

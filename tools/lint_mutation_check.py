@@ -76,6 +76,53 @@ MUTATIONS = [
         append="",
         expect_rule="dispatch/missing-handler",
     ),
+    Mutation(
+        name="move-force-after-send",
+        # swap the 2PL prepare force point to AFTER the YES vote leaves
+        # the site: the O2PC branch still forces via local_commit, so
+        # the AND-merge over the if-arms leaves the send uncovered
+        paths=("repro/commit/participant.py",),
+        replacements=(
+            ("            self.site.ltm.prepare(txn_id)\n", ""),
+            (
+                '        self._reply(msg, MsgType.VOTE, {"vote": "YES"})\n',
+                '        self._reply(msg, MsgType.VOTE, {"vote": "YES"})\n'
+                "        self.site.ltm.prepare(txn_id)\n",
+            ),
+        ),
+        append="",
+        expect_rule="flow/unforced-send",
+    ),
+    Mutation(
+        name="drop-paxos-decision-handler",
+        # delete the DECISION handler from the Paxos participant ONLY:
+        # the union-based dispatch rules stay quiet (base Participant
+        # still declares it) but the PAXOS scheme's flow graph now has
+        # DECISION senders with no receiver
+        paths=("repro/protocols/paxos.py",),
+        replacements=((
+            'MsgType.DECISION: "_handle_decision",\n', "",
+        ),),
+        append="",
+        expect_rule="msgflow/orphan-send",
+    ),
+    Mutation(
+        name="inject-sync-fsync",
+        # a bare fsync inside the group-commit barrier coroutine stalls
+        # the daemon's event loop (the allowlisted wal.sync() is the one
+        # designated site)
+        paths=("repro/rt/group_commit.py",),
+        replacements=(
+            ("import asyncio", "import asyncio\nimport os"),
+            (
+                "                if self.hold_s > 0:",
+                "                os.fsync(0)\n"
+                "                if self.hold_s > 0:",
+            ),
+        ),
+        append="",
+        expect_rule="blocking/sync-fsync",
+    ),
 ]
 
 
